@@ -1,0 +1,1 @@
+bench/experiments.ml: Analyze Array Bechamel Benchmark Cell Cellsched Daggen Float Hashtbl List Lp Measure Printf Simulator Staged Streaming Support Test Time Toolkit

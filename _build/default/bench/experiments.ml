@@ -1,0 +1,453 @@
+(* Experiment implementations for the paper's figures and tables.
+
+   Every experiment prints the series the paper reports, annotated with the
+   values the paper's own plots show, so EXPERIMENTS.md can be regenerated
+   from this output. Seeds are fixed: all numbers are reproducible. *)
+
+module P = Cell.Platform
+module G = Streaming.Graph
+module SS = Cellsched.Steady_state
+module MS = Cellsched.Milp_solver
+module H = Cellsched.Heuristics
+module R = Simulator.Runtime
+
+let scale = ref 1.0
+(* --quick divides stream lengths by 10. *)
+
+let instances n = max 200 (int_of_float (float_of_int n *. !scale))
+
+let milp_options =
+  (* Sweeps use a 10 s budget per solve (incumbents converge within a few
+     seconds); the dedicated milptime experiment uses the paper's full
+     setting. *)
+  { MS.default_options with rel_gap = 0.05; time_limit = 10. }
+
+let solve_lp platform g = MS.solve ~options:milp_options platform g
+
+let simulate platform g mapping ~n =
+  R.run platform g mapping ~instances:(instances n)
+
+let steady platform g mapping ~n =
+  (simulate platform g mapping ~n).R.steady_throughput
+
+let graphs () = Daggen.Presets.all_random ()
+
+(* ------------------------------------------------------------------ *)
+(* E1/E5 - Figure 6: throughput vs number of instances.                *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  print_endline "== Figure 6: throughput vs stream position ==";
+  print_endline
+    "   (random graph 1, CCR 0.775, QS22 with 8 SPEs, LP mapping;\n\
+    \    paper: steady state after ~1000 instances at ~95% of the LP bound)";
+  let platform = P.qs22 () in
+  let g = Daggen.Presets.random_graph_1 () in
+  let r = solve_lp platform g in
+  let n = instances 10_000 in
+  let metrics = R.run platform g r.MS.mapping ~instances:n in
+  let table = Support.Table.create [ "instances"; "experimental"; "theoretical" ] in
+  let curve = R.throughput_curve metrics ~points:20 in
+  List.iter
+    (fun (i, thr) ->
+      Support.Table.add_row table
+        [
+          string_of_int i;
+          Printf.sprintf "%.2f" thr;
+          Printf.sprintf "%.2f" r.MS.throughput;
+        ])
+    curve;
+  Support.Table.print table;
+  let ratio = metrics.R.steady_throughput /. r.MS.throughput in
+  Printf.printf
+    "steady-state throughput: %.2f inst/s; LP prediction: %.2f inst/s; ratio \
+     %.1f%% (paper: ~95%%)\n\n"
+    metrics.R.steady_throughput r.MS.throughput (100. *. ratio)
+
+(* ------------------------------------------------------------------ *)
+(* E2 - Figure 7: speed-up vs number of SPEs.                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_one name g =
+  Printf.printf "== Figure 7: speed-up vs #SPEs - %s ==\n" name;
+  print_endline
+    "   (speed-up over PPE-only, 5000 instances; paper: LP reaches 2-3 with\n\
+    \    8 SPEs while both greedy heuristics stay near 1.3)";
+  let base_platform = P.qs22 ~n_spe:0 () in
+  let base =
+    steady base_platform g (H.ppe_only base_platform g) ~n:5_000
+  in
+  let table =
+    Support.Table.create [ "#SPEs"; "GREEDYCPU"; "GREEDYMEM"; "LinearProgramming" ]
+  in
+  let rows =
+    List.map
+      (fun ns ->
+        let platform = P.qs22 ~n_spe:ns () in
+        let speedup m = steady platform g m ~n:5_000 /. base in
+        let lp = (solve_lp platform g).MS.mapping in
+        ( ns,
+          speedup (H.greedy_cpu platform g),
+          speedup (H.greedy_mem platform g),
+          speedup lp ))
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  List.iter
+    (fun (ns, gc, gm, lp) ->
+      Support.Table.add_row table
+        [
+          string_of_int ns;
+          Printf.sprintf "%.2f" gc;
+          Printf.sprintf "%.2f" gm;
+          Printf.sprintf "%.2f" lp;
+        ])
+    rows;
+  Support.Table.print table;
+  print_newline ();
+  rows
+
+let fig7 () =
+  List.map (fun (name, g) -> (name, fig7_one name g)) (graphs ())
+
+(* ------------------------------------------------------------------ *)
+(* E3 - Figure 8: speed-up vs CCR (8 SPEs, LP mapping).                *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  print_endline "== Figure 8: LP-mapping speed-up vs CCR (QS22, 8 SPEs) ==";
+  print_endline
+    "   (10000 instances; paper: speed-ups of 2.5-3.5 at CCR 0.775 decaying\n\
+    \    towards ~1 at CCR 4.6, where mapping everything on the PPE wins)";
+  let platform = P.qs22 () in
+  let presets =
+    [
+      ("random graph 1", fun ccr -> Daggen.Presets.random_graph_1 ~ccr ());
+      ("random graph 2", fun ccr -> Daggen.Presets.random_graph_2 ~ccr ());
+      ("random graph 3", fun ccr -> Daggen.Presets.random_graph_3 ~ccr ());
+    ]
+  in
+  let table =
+    Support.Table.create
+      ("CCR" :: List.map (fun (name, _) -> name) presets)
+  in
+  let result =
+    List.map
+      (fun ccr ->
+        let speedups =
+          List.map
+            (fun (_, make) ->
+              let g = make ccr in
+              let base = steady platform g (H.ppe_only platform g) ~n:10_000 in
+              let lp = (solve_lp platform g).MS.mapping in
+              steady platform g lp ~n:10_000 /. base)
+            presets
+        in
+        Support.Table.add_row table
+          (Printf.sprintf "%.3f" ccr
+          :: List.map (Printf.sprintf "%.2f") speedups);
+        (ccr, speedups))
+      Streaming.Ccr.paper_ccrs
+  in
+  Support.Table.print table;
+  print_newline ();
+  result
+
+(* ------------------------------------------------------------------ *)
+(* E4 - MILP resolution time (paper S6: "below one minute, mostly      *)
+(* around 20 seconds" with CPLEX at a 5% gap).                         *)
+(* ------------------------------------------------------------------ *)
+
+let milptime () =
+  print_endline "== MILP resolution (5% optimality gap, QS22 with 8 SPEs) ==";
+  print_endline
+    "   (paper: CPLEX always below one minute, mostly around 20 s)";
+  let platform = P.qs22 () in
+  let table =
+    Support.Table.create
+      [ "graph"; "tasks"; "edges"; "time (s)"; "nodes"; "gap"; "proven" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let r = MS.solve ~options:{ milp_options with time_limit = 30. } platform g in
+      Support.Table.add_row table
+        [
+          name;
+          string_of_int (G.n_tasks g);
+          string_of_int (G.n_edges g);
+          Printf.sprintf "%.2f" r.MS.solve_time;
+          string_of_int r.MS.nodes;
+          Printf.sprintf "%.3f" r.MS.gap;
+          string_of_bool r.MS.proven_within_gap;
+        ])
+    (graphs ());
+  Support.Table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* A1/A2 - Ablations: the paper's S7 future-work optimizations and     *)
+(* the "involved heuristics" it calls for.                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline "== Ablation A1: buffer optimizations (S7 future work) ==";
+  print_endline
+    "   (LP mapping on a memory-tight variant, 8 SPEs, 2% gap; sharing\n\
+    \    colocated buffers / tightening the pipeline frees local store,\n\
+    \    letting more work leave the PPE)";
+  let platform = P.qs22 () in
+  let a1_options = { milp_options with rel_gap = 0.02; time_limit = 20. } in
+  let table =
+    Support.Table.create
+      [
+        "graph";
+        "paper model";
+        "mem (kB)";
+        "+buffer sharing";
+        "mem (kB)";
+        "+tight pipeline";
+      ]
+  in
+  let spe_memory ?share_colocated_buffers ?tight_pipeline g mapping =
+    let l = SS.loads ?share_colocated_buffers ?tight_pipeline platform g mapping in
+    List.fold_left (fun acc pe -> acc +. l.SS.memory.(pe)) 0. (P.spes platform)
+    /. 1024.
+  in
+  List.iter
+    (fun (name, mk) ->
+      let g = mk 1.9 in
+      let base = MS.solve ~options:a1_options platform g in
+      let shared =
+        MS.solve
+          ~options:{ a1_options with share_colocated_buffers = true }
+          platform g
+      in
+      (* The tight-pipeline analysis applies to a given mapping: re-evaluate
+         the shared-buffer mapping with mapping-aware firstPeriods. *)
+      let tight =
+        1.
+        /. SS.period platform
+             (SS.loads ~share_colocated_buffers:true ~tight_pipeline:true
+                platform g shared.MS.mapping)
+      in
+      Support.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.2f inst/s" base.MS.throughput;
+          Printf.sprintf "%.0f" (spe_memory g base.MS.mapping);
+          Printf.sprintf "%.2f inst/s" shared.MS.throughput;
+          Printf.sprintf "%.0f"
+            (spe_memory ~share_colocated_buffers:true g shared.MS.mapping);
+          Printf.sprintf "%.2f inst/s" tight;
+        ])
+    [
+      ("random graph 1", fun ccr -> Daggen.Presets.random_graph_1 ~ccr ());
+      ("random graph 2", fun ccr -> Daggen.Presets.random_graph_2 ~ccr ());
+      ("random graph 3", fun ccr -> Daggen.Presets.random_graph_3 ~ccr ());
+    ];
+  Support.Table.print table;
+  print_newline ();
+  print_endline "== Ablation A2: involved heuristics vs the paper's greedy ==";
+  print_endline
+    "   (predicted throughput, 8 SPEs, CCR 0.775; the paper notes simple\n\
+    \    heuristics fail and calls for better ones)";
+  let table =
+    Support.Table.create
+      [ "graph"; "greedy-mem"; "greedy-cpu"; "density-pack"; "lp-round"; "search (LP)" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let thr m =
+        if SS.feasible platform g m then SS.throughput platform g m else nan
+      in
+      let row =
+        [
+          thr (H.greedy_mem platform g);
+          thr (H.greedy_cpu platform g);
+          thr (H.density_pack platform g);
+          thr (H.lp_rounding ~improve:true platform g);
+          (solve_lp platform g).MS.throughput;
+        ]
+      in
+      Support.Table.add_row table
+        (name :: List.map (fun v -> Printf.sprintf "%.2f" v) row))
+    (graphs ());
+  Support.Table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* A3 - replication analysis: the paper's S3.1 argument that general   *)
+(* (replicated) mappings do not pay off on the Cell.                   *)
+(* ------------------------------------------------------------------ *)
+
+let replication () =
+  print_endline "== Ablation A3: task replication (the S3.1 general mappings) ==";
+  print_endline
+    "   (replicating every SPE-mapped stateless task on one extra SPE;
+    \    peeking tasks force data duplication and buffers double, the
+    \    paper's reason to restrict to simple mappings)";
+  let platform = P.qs22 () in
+  let table =
+    Support.Table.create
+      [
+        "graph";
+        "simple mapping";
+        "replicated";
+        "remote bytes x";
+        "SPE mem x";
+        "mem feasible";
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let r = solve_lp platform g in
+      let mapping = r.MS.mapping in
+      let simple = Cellsched.Replication.of_mapping platform g mapping in
+      (* Give every stateless SPE task a second replica on the next SPE. *)
+      let spes = Array.of_list (P.spes platform) in
+      let spec =
+        Array.init (G.n_tasks g) (fun k ->
+            let pe = Cellsched.Mapping.pe mapping k in
+            if P.is_spe platform pe && not (G.task g k).Streaming.Task.stateful
+            then begin
+              let idx = pe - 1 in
+              let buddy = spes.((idx + 1) mod Array.length spes) in
+              if buddy = pe then [ pe ] else [ pe; buddy ]
+            end
+            else [ pe ])
+      in
+      let replicated = Cellsched.Replication.make platform g spec in
+      let bytes l =
+        Array.fold_left ( +. ) 0. l.SS.bytes_in +. Array.fold_left ( +. ) 0. l.SS.bytes_out
+      in
+      let mem l =
+        List.fold_left (fun acc pe -> acc +. l.SS.memory.(pe)) 0. (P.spes platform)
+      in
+      let ls = Cellsched.Replication.loads platform g simple in
+      let lr = Cellsched.Replication.loads platform g replicated in
+      let feasible =
+        not
+          (List.exists
+             (function SS.Memory _ -> true | _ -> false)
+             (Cellsched.Replication.violations platform g replicated))
+      in
+      Support.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.2f inst/s" (Cellsched.Replication.throughput platform g simple);
+          Printf.sprintf "%.2f inst/s" (Cellsched.Replication.throughput platform g replicated);
+          Printf.sprintf "%.2f" (bytes lr /. Float.max 1. (bytes ls));
+          Printf.sprintf "%.2f" (mem lr /. Float.max 1. (mem ls));
+          string_of_bool feasible;
+        ])
+    (graphs ());
+  Support.Table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E6 - extension: platform scaling across PS3 / QS22 / dual QS22      *)
+(* (the multi-Cell deployment the paper lists as future work, S7).     *)
+(* ------------------------------------------------------------------ *)
+
+let dualcell () =
+  print_endline "== Extension: platform scaling (PS3 / QS22 / dual-Cell QS22) ==";
+  print_endline
+    "   (LP-mapping speed-up over a single PPE, CCR 0.775; the dual-Cell
+    \    QS22 is the S7 future-work platform: flat = contention-free,\n\
+    \    BIF = cross-Cell traffic shares a 20 GB/s coherent interface)";
+  let platforms =
+    [
+      ("PS3 (6 SPEs)", P.ps3 ());
+      ("QS22 (8 SPEs)", P.qs22 ());
+      ("QS22 dual (flat)", P.qs22_dual ~flat:true ());
+      ("QS22 dual (BIF contention)", P.qs22_dual ());
+    ]
+  in
+  let table =
+    Support.Table.create
+      ("graph" :: List.map (fun (name, _) -> name) platforms)
+  in
+  List.iter
+    (fun (name, g) ->
+      let base_platform = P.qs22 ~n_spe:0 () in
+      let base = steady base_platform g (H.ppe_only base_platform g) ~n:5_000 in
+      let cells =
+        List.map
+          (fun (_, platform) ->
+            let lp = (solve_lp platform g).MS.mapping in
+            Printf.sprintf "%.2f" (steady platform g lp ~n:5_000 /. base))
+          platforms
+      in
+      Support.Table.add_row table (name :: cells))
+    (graphs ());
+  Support.Table.print table;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* M1 - micro-benchmarks (bechamel).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
+  let open Bechamel in
+  let platform = P.qs22 () in
+  let g = Daggen.Presets.random_graph_1 () in
+  let mapping = H.density_pack platform g in
+  let small_lp () =
+    let p = Lp.Problem.create () in
+    let x = Lp.Problem.add_var p "x" in
+    let y = Lp.Problem.add_var p "y" in
+    Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 2.) ]) Lp.Problem.Le 14.;
+    Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 3.); (y, -1.) ]) Lp.Problem.Ge 0.;
+    Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, -1.) ]) Lp.Problem.Le 2.;
+    Lp.Problem.set_objective p Lp.Problem.Maximize
+      (Lp.Expr.of_list [ (x, 3.); (y, 4.) ]);
+    match Lp.Simplex.solve p with
+    | Lp.Simplex.Optimal _ -> ()
+    | _ -> assert false
+  in
+  let tests =
+    [
+      Test.make ~name:"steady-state analysis (50 tasks)"
+        (Staged.stage (fun () ->
+             ignore (SS.period platform (SS.loads platform g mapping))));
+      Test.make ~name:"first-periods + buffers"
+        (Staged.stage (fun () ->
+             let fp = SS.first_periods g in
+             ignore (SS.buffer_sizes ~first_periods:fp g)));
+      Test.make ~name:"greedy-mem heuristic"
+        (Staged.stage (fun () -> ignore (H.greedy_mem platform g)));
+      Test.make ~name:"density-pack heuristic"
+        (Staged.stage (fun () -> ignore (H.density_pack platform g)));
+      Test.make ~name:"simplex (tiny LP)" (Staged.stage small_lp);
+      Test.make ~name:"compact formulation build"
+        (Staged.stage (fun () ->
+             ignore (Cellsched.Milp_formulation.build_compact platform g)));
+      Test.make ~name:"simulate 100 instances"
+        (Staged.stage (fun () ->
+             ignore (R.run platform g mapping ~instances:100)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"cellstream" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table = Support.Table.create [ "benchmark"; "time per run" ] in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let time =
+        match Analyze.OLS.estimates v with
+        | Some [ ns ] ->
+            if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+        | _ -> "n/a"
+      in
+      Support.Table.add_row table [ name; time ])
+    (List.sort compare rows);
+  Support.Table.print table;
+  print_newline ()

@@ -1,0 +1,42 @@
+(* Benchmark harness regenerating every figure and table of the paper's
+   evaluation (S6), plus the ablations called for by S7 and a bechamel
+   micro-benchmark suite.
+
+   Usage: main.exe [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|micro|all]...
+   With no experiment argument, everything runs. --quick shortens the
+   simulated streams by 10x for fast smoke runs. *)
+
+let usage () =
+  prerr_endline
+    "usage: bench [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|micro|all]...";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  if quick then Experiments.scale := 0.1;
+  let experiments =
+    List.filter (fun a -> a <> "--quick") args |> function
+    | [] | [ "all" ] -> [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication"; "dualcell"; "micro" ]
+    | names -> names
+  in
+  print_endline "cellstream benchmark harness";
+  print_endline
+    "reproduction of: Gallet, Jacquelin, Marchal, \"Scheduling complex\n\
+     streaming applications on the Cell processor\" (IPDPS 2010)";
+  Printf.printf "experiments: %s%s\n\n" (String.concat ", " experiments)
+    (if quick then " (quick mode)" else "");
+  let run = function
+    | "fig6" -> Experiments.fig6 ()
+    | "fig7" -> ignore (Experiments.fig7 ())
+    | "fig8" -> ignore (Experiments.fig8 ())
+    | "milptime" -> Experiments.milptime ()
+    | "ablation" -> Experiments.ablation ()
+    | "replication" -> Experiments.replication ()
+    | "dualcell" -> Experiments.dualcell ()
+    | "micro" -> Experiments.micro ()
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        usage ()
+  in
+  List.iter run experiments

@@ -1,0 +1,337 @@
+(* Command-line interface to the scheduling framework.
+
+   Subcommands:
+     generate   produce a random streaming application (DagGen-style)
+     info       summarize a graph file (tasks, edges, CCR, depth)
+     map        compute a mapping with a chosen strategy
+     simulate   run a mapped stream through the Cell simulator
+     compare    run every strategy side by side on one graph
+     schedule   print the periodic steady-state schedule
+     dot        export a graph to Graphviz *)
+
+open Cmdliner
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let graph_arg =
+  let doc = "Application graph file (cellstream text format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let n_spe_arg =
+  let doc = "Number of SPEs (0-8)." in
+  Arg.(value & opt int 8 & info [ "spes" ] ~docv:"N" ~doc)
+
+let strategy_arg =
+  let strategies =
+    [
+      ("milp", `Milp);
+      ("greedy-mem", `Greedy_mem);
+      ("greedy-cpu", `Greedy_cpu);
+      ("density-pack", `Density);
+      ("lp-round", `Lp_round);
+      ("ppe-only", `Ppe_only);
+    ]
+  in
+  let doc =
+    Printf.sprintf "Mapping strategy: %s."
+      (String.concat ", " (List.map fst strategies))
+  in
+  Arg.(value & opt (enum strategies) `Milp & info [ "strategy"; "s" ] ~doc)
+
+let gap_arg =
+  let doc = "Relative optimality gap for the MILP solver (paper: 0.05)." in
+  Arg.(value & opt float 0.05 & info [ "gap" ] ~doc)
+
+let time_limit_arg =
+  let doc = "MILP time limit in seconds." in
+  Arg.(value & opt float 30. & info [ "time-limit" ] ~doc)
+
+let platform_of n_spe = Cell.Platform.qs22 ~n_spe ()
+
+let load_graph path = Streaming.Serialize.of_file path
+
+let compute_mapping strategy ~gap ~time_limit platform g =
+  match strategy with
+  | `Ppe_only -> Cellsched.Heuristics.ppe_only platform g
+  | `Greedy_mem -> Cellsched.Heuristics.greedy_mem platform g
+  | `Greedy_cpu -> Cellsched.Heuristics.greedy_cpu platform g
+  | `Density -> Cellsched.Heuristics.density_pack platform g
+  | `Lp_round -> Cellsched.Heuristics.lp_rounding platform g
+  | `Milp ->
+      let options =
+        {
+          Cellsched.Milp_solver.default_options with
+          rel_gap = gap;
+          time_limit;
+        }
+      in
+      (Cellsched.Milp_solver.solve ~options platform g).Cellsched.Milp_solver.mapping
+
+let report_mapping platform g mapping =
+  Format.printf "%a@." (Cellsched.Mapping.pp platform g) mapping;
+  let violations = Cellsched.Steady_state.violations platform g mapping in
+  List.iter
+    (fun v ->
+      Format.printf "violation: %a@."
+        (Cellsched.Steady_state.pp_violation platform)
+        v)
+    violations;
+  let loads = Cellsched.Steady_state.loads platform g mapping in
+  let resource, time = Cellsched.Steady_state.bottleneck platform loads in
+  Format.printf "predicted throughput: %.2f instances/s@."
+    (Cellsched.Steady_state.throughput platform g mapping);
+  Format.printf "bottleneck: %a (%.4f ms per instance)@."
+    (Cellsched.Steady_state.pp_resource platform)
+    resource (time *. 1e3)
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run n fat density regularity jump chain ccr seed output =
+    let rng = Support.Rng.create seed in
+    let costs = Daggen.Generator.default_costs in
+    let g =
+      if chain then Daggen.Generator.generate_chain ~rng ~n ~costs
+      else
+        Daggen.Generator.generate ~rng
+          ~shape:{ Daggen.Generator.n; fat; density; regularity; jump }
+          ~costs
+    in
+    let g = Streaming.Ccr.scale_to g ~target:ccr in
+    (match output with
+    | Some path ->
+        Streaming.Serialize.to_file g path;
+        Printf.printf "wrote %s (%d tasks, %d edges, CCR %.3f)\n" path
+          (Streaming.Graph.n_tasks g)
+          (Streaming.Graph.n_edges g)
+          (Streaming.Ccr.compute g)
+    | None -> print_string (Streaming.Serialize.to_string g));
+    0
+  in
+  let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Number of tasks.") in
+  let fat = Arg.(value & opt float 0.3 & info [ "fat" ] ~doc:"Width factor.") in
+  let density =
+    Arg.(value & opt float 0.4 & info [ "density" ] ~doc:"Edge probability.")
+  in
+  let regularity =
+    Arg.(value & opt float 0.6 & info [ "regularity" ] ~doc:"Layer regularity.")
+  in
+  let jump = Arg.(value & opt int 2 & info [ "jump" ] ~doc:"Max layer jump.") in
+  let chain =
+    Arg.(value & flag & info [ "chain" ] ~doc:"Generate a linear chain.")
+  in
+  let ccr =
+    Arg.(value & opt float 0.775 & info [ "ccr" ] ~doc:"Target CCR.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random streaming application")
+    Term.(
+      const run $ n $ fat $ density $ regularity $ jump $ chain $ ccr $ seed
+      $ output)
+
+(* --- info ----------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let g = load_graph path in
+    Format.printf "%a@." Streaming.Graph.pp g;
+    Format.printf "CCR: %.3f@." (Streaming.Ccr.compute g);
+    let fp = Cellsched.Steady_state.first_periods g in
+    Format.printf "pipeline depth: %d periods@." (Array.fold_left max 0 fp);
+    0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarize an application graph")
+    Term.(const run $ graph_arg)
+
+(* --- map ------------------------------------------------------------------ *)
+
+let map_cmd =
+  let run path n_spe strategy gap time_limit =
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    report_mapping platform g mapping;
+    0
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Compute a mapping of a graph onto the Cell")
+    Term.(
+      const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
+      $ time_limit_arg)
+
+(* --- simulate -------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run path n_spe strategy gap time_limit instances gantt svg =
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    report_mapping platform g mapping;
+    let trace =
+      if gantt || svg <> None then Some (Simulator.Trace.create ()) else None
+    in
+    let metrics = Simulator.Runtime.run ?trace platform g mapping ~instances in
+    Format.printf
+      "simulated %d instances in %.3f s@.steady throughput: %.2f instances/s@.transfers: %d (%.1f kB)@."
+      metrics.Simulator.Runtime.instances metrics.Simulator.Runtime.makespan
+      metrics.Simulator.Runtime.steady_throughput
+      metrics.Simulator.Runtime.transfers
+      (metrics.Simulator.Runtime.bytes_transferred /. 1024.);
+    (match trace with
+    | None -> ()
+    | Some trace ->
+        (* Show the steady-state regime: a window in the middle. *)
+        let mid = metrics.Simulator.Runtime.makespan /. 2. in
+        let span = metrics.Simulator.Runtime.makespan /. 50. in
+        if gantt then
+          print_string
+            (Simulator.Trace.gantt ~from_time:mid ~to_time:(mid +. span)
+               platform trace);
+        match svg with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Simulator.Trace.to_svg ~from_time:mid ~to_time:(mid +. span)
+                     platform trace));
+            Printf.printf "wrote %s\n" file
+        | None -> ());
+    0
+  in
+  let instances =
+    Arg.(value & opt int 5000 & info [ "instances"; "n" ] ~doc:"Stream length.")
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of a steady-state window.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Write an SVG Gantt chart to this file.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a mapped stream on the Cell")
+    Term.(
+      const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
+      $ time_limit_arg $ instances $ gantt $ svg)
+
+(* --- schedule --------------------------------------------------------------- *)
+
+let schedule_cmd =
+  let run path n_spe strategy gap time_limit period =
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    let sched = Cellsched.Schedule.build platform g mapping in
+    Format.printf "throughput: %.2f instances/s, warmup %d periods@.@."
+      (Cellsched.Schedule.throughput sched)
+      (Cellsched.Schedule.warmup_periods sched);
+    Cellsched.Schedule.pp_period sched g platform period Format.std_formatter ();
+    Format.print_newline ();
+    0
+  in
+  let period =
+    Arg.(value & opt int 0 & info [ "period" ] ~doc:"Period index to print.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print the periodic steady-state schedule")
+    Term.(
+      const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
+      $ time_limit_arg $ period)
+
+(* --- compare ----------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run path n_spe gap time_limit instances =
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let strategies =
+      Cellsched.Heuristics.standard_candidates ~with_lp:true platform g
+      @ [
+          ( "milp",
+            (Cellsched.Milp_solver.solve
+               ~options:
+                 {
+                   Cellsched.Milp_solver.default_options with
+                   rel_gap = gap;
+                   time_limit;
+                 }
+               platform g)
+              .Cellsched.Milp_solver.mapping );
+        ]
+    in
+    let base =
+      Cellsched.Steady_state.throughput platform g
+        (Cellsched.Heuristics.ppe_only platform g)
+    in
+    let table =
+      Support.Table.create
+        [ "strategy"; "feasible"; "predicted/s"; "simulated/s"; "speed-up"; "bottleneck" ]
+    in
+    List.iter
+      (fun (name, mapping) ->
+        let feasible = Cellsched.Steady_state.feasible platform g mapping in
+        let loads = Cellsched.Steady_state.loads platform g mapping in
+        let predicted = Cellsched.Steady_state.throughput platform g mapping in
+        let deployable =
+          List.for_all
+            (function Cellsched.Steady_state.Memory _ -> false | _ -> true)
+            (Cellsched.Steady_state.violations platform g mapping)
+        in
+        let simulated =
+          if deployable then
+            Printf.sprintf "%.2f"
+              (Simulator.Runtime.run platform g mapping ~instances)
+                .Simulator.Runtime.steady_throughput
+          else "-"
+        in
+        let resource, _ = Cellsched.Steady_state.bottleneck platform loads in
+        Support.Table.add_row table
+          [
+            name;
+            string_of_bool feasible;
+            Printf.sprintf "%.2f" predicted;
+            simulated;
+            Printf.sprintf "%.2f" (predicted /. base);
+            Format.asprintf "%a" (Cellsched.Steady_state.pp_resource platform) resource;
+          ])
+      strategies;
+    Support.Table.print table;
+    0
+  in
+  let instances =
+    Arg.(value & opt int 3000 & info [ "instances"; "n" ] ~doc:"Stream length.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare every mapping strategy on a graph (predicted + simulated)")
+    Term.(const run $ graph_arg $ n_spe_arg $ gap_arg $ time_limit_arg $ instances)
+
+(* --- dot -------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run path output =
+    let g = load_graph path in
+    (match output with
+    | Some out ->
+        Streaming.Dot.to_file g out;
+        Printf.printf "wrote %s\n" out
+    | None -> print_string (Streaming.Dot.to_string g));
+    0
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a graph to Graphviz")
+    Term.(const run $ graph_arg $ output)
+
+let () =
+  let doc = "Steady-state scheduling of streaming applications on the Cell" in
+  let info = Cmd.info "cellsched" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; info_cmd; map_cmd; simulate_cmd; schedule_cmd; compare_cmd; dot_cmd ]))

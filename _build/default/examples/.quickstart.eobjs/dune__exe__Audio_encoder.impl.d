@@ -1,0 +1,1 @@
+examples/audio_encoder.ml: Cell Cellsched Daggen Format List Printf Simulator Streaming Support

@@ -1,0 +1,1 @@
+examples/ccr_sweep.ml: Cell Cellsched Daggen List Printf Streaming Support

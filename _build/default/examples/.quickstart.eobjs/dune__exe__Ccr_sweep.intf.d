@@ -1,0 +1,1 @@
+examples/ccr_sweep.mli:

@@ -1,0 +1,1 @@
+examples/dual_cell.ml: Array Cell Cellsched Daggen List Printf Simulator Support

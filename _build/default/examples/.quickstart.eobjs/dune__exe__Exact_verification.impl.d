@@ -1,0 +1,1 @@
+examples/exact_verification.ml: Cell Cellsched Daggen Format Lp Printf Rational

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cell Cellsched Format Simulator Streaming

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Cell Cellsched Format List Printf Simulator Streaming Support

@@ -1,0 +1,1 @@
+lib/cell/platform.ml: Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/cell/platform.mli: Format

@@ -1,0 +1,103 @@
+type pe_class = PPE | SPE
+
+type t = {
+  n_ppe : int;
+  n_spe : int;
+  bw : float;
+  eib_bw : float;
+  local_store : int;
+  code_size : int;
+  max_dma_in : int;
+  max_dma_to_ppe : int;
+  ppe_speedup : float;
+  n_cells : int;
+  inter_cell_bw : float;
+}
+
+let gib = 1024. *. 1024. *. 1024.
+let kib = 1024
+
+let make ?(n_ppe = 1) ?(n_spe = 8) ?(bw = 25. *. gib) ?(eib_bw = 200. *. gib)
+    ?(local_store = 256 * kib) ?(code_size = 64 * kib) ?(max_dma_in = 16)
+    ?(max_dma_to_ppe = 8) ?(ppe_speedup = 1.0) ?(n_cells = 1)
+    ?(inter_cell_bw = 20. *. gib) () =
+  if n_ppe < 1 then invalid_arg "Platform.make: need at least one PPE";
+  if n_spe < 0 then invalid_arg "Platform.make: negative SPE count";
+  if bw <= 0. || eib_bw <= 0. then invalid_arg "Platform.make: bandwidth";
+  if local_store <= 0 then invalid_arg "Platform.make: local store";
+  if code_size < 0 || code_size > local_store then
+    invalid_arg "Platform.make: code size exceeds local store";
+  if max_dma_in < 0 || max_dma_to_ppe < 0 then
+    invalid_arg "Platform.make: DMA limits";
+  if ppe_speedup <= 0. then invalid_arg "Platform.make: ppe_speedup";
+  if n_cells < 1 then invalid_arg "Platform.make: n_cells";
+  if inter_cell_bw <= 0. then invalid_arg "Platform.make: inter_cell_bw";
+  if n_cells > 1 && (n_ppe mod n_cells <> 0 || n_spe mod n_cells <> 0) then
+    invalid_arg "Platform.make: PEs must divide evenly across cells";
+  {
+    n_ppe;
+    n_spe;
+    bw;
+    eib_bw;
+    local_store;
+    code_size;
+    max_dma_in;
+    max_dma_to_ppe;
+    ppe_speedup;
+    n_cells;
+    inter_cell_bw;
+  }
+
+let qs22 ?(n_spe = 8) () =
+  if n_spe > 8 then invalid_arg "Platform.qs22: at most 8 SPEs per Cell";
+  make ~n_ppe:1 ~n_spe ()
+
+let qs22_dual ?(n_spe = 16) ?(flat = false) () =
+  if n_spe > 16 then invalid_arg "Platform.qs22_dual: at most 16 SPEs";
+  (* Both Cells of a QS22. The coherent inter-Cell interface (BIF) is a
+     shared contention point for cross-Cell traffic unless [flat]. *)
+  if flat then make ~n_ppe:2 ~n_spe ()
+  else make ~n_ppe:2 ~n_spe ~n_cells:2 ()
+
+let ps3 ?(n_spe = 6) () =
+  if n_spe > 6 then invalid_arg "Platform.ps3: at most 6 usable SPEs";
+  make ~n_ppe:1 ~n_spe ()
+
+let n_pes t = t.n_ppe + t.n_spe
+
+let pe_class t i =
+  if i < 0 || i >= n_pes t then invalid_arg "Platform.pe_class: index";
+  if i < t.n_ppe then PPE else SPE
+
+let is_spe t i = pe_class t i = SPE
+let is_ppe t i = pe_class t i = PPE
+let ppes t = List.init t.n_ppe Fun.id
+let spes t = List.init t.n_spe (fun s -> t.n_ppe + s)
+let spe_memory_budget t = t.local_store - t.code_size
+
+let cell_of t i =
+  if t.n_cells = 1 then 0
+  else begin
+    match pe_class t i with
+    | PPE -> i * t.n_cells / t.n_ppe
+    | SPE -> (i - t.n_ppe) * t.n_cells / t.n_spe
+  end
+
+let pe_name t i =
+  match pe_class t i with
+  | PPE -> Printf.sprintf "PPE%d" i
+  | SPE -> Printf.sprintf "SPE%d" (i - t.n_ppe)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>Cell platform: %d PPE + %d SPE@,\
+     interface bw: %.1f GB/s each direction, EIB %.1f GB/s@,\
+     local store: %d kB (%d kB code, %d kB buffers)@,\
+     DMA limits: %d incoming, %d to-PPE per SPE@]"
+    t.n_ppe t.n_spe
+    (t.bw /. gib)
+    (t.eib_bw /. gib)
+    (t.local_store / 1024)
+    (t.code_size / 1024)
+    (spe_memory_budget t / 1024)
+    t.max_dma_in t.max_dma_to_ppe

@@ -1,0 +1,94 @@
+(** Model of the STI Cell BE processor (paper §2.1).
+
+    A platform is a set of processing elements (PEs): [nP] PPE cores followed
+    by [nS] SPE cores, indexed [0 .. nP + nS - 1] exactly as in the paper
+    (PPEs first). Each PE owns a bidirectional communication interface of
+    bandwidth [bw] bytes/s in each direction (bounded-multiport model); SPEs
+    additionally have a local store of [local_store] bytes of which
+    [code_size] bytes are consumed by the replicated application code, a DMA
+    queue of [max_dma_in] concurrent incoming transfers and a separate queue
+    of [max_dma_to_ppe] concurrent transfers towards PPEs. *)
+
+type pe_class =
+  | PPE  (** Power Processing Element: general-purpose, accesses main memory. *)
+  | SPE  (** Synergistic Processing Element: vector core with a local store. *)
+
+type t = private {
+  n_ppe : int;  (** Number of PPE cores ([nP] in the paper). *)
+  n_spe : int;  (** Number of SPE cores ([nS]). *)
+  bw : float;  (** Per-interface bandwidth, bytes per second, each direction. *)
+  eib_bw : float;  (** Aggregated EIB ring bandwidth (informational). *)
+  local_store : int;  (** SPE local store size [LS], bytes. *)
+  code_size : int;  (** Bytes of local store consumed by replicated code. *)
+  max_dma_in : int;  (** Max concurrent incoming DMA transfers per SPE. *)
+  max_dma_to_ppe : int;  (** Max concurrent SPE-to-PPE DMA transfers. *)
+  ppe_speedup : float;
+      (** Multiplier applied to PPE task durations (1.0 = nominal); lets
+          experiments scale the relative PPE/SPE speeds. *)
+  n_cells : int;
+      (** Number of Cell chips; PEs are partitioned evenly (PPEs and SPEs
+          separately, in index order). 1 for a single processor. *)
+  inter_cell_bw : float;
+      (** Bandwidth of the coherent inter-Cell interface (BIF), bytes/s in
+          each direction per cell; only meaningful when [n_cells > 1]. *)
+}
+
+val make :
+  ?n_ppe:int ->
+  ?n_spe:int ->
+  ?bw:float ->
+  ?eib_bw:float ->
+  ?local_store:int ->
+  ?code_size:int ->
+  ?max_dma_in:int ->
+  ?max_dma_to_ppe:int ->
+  ?ppe_speedup:float ->
+  ?n_cells:int ->
+  ?inter_cell_bw:float ->
+  unit ->
+  t
+(** Build a platform; defaults are the QS22 single-Cell values below.
+    @raise Invalid_argument on non-positive core counts or bandwidths, or if
+    [code_size > local_store]. *)
+
+val qs22 : ?n_spe:int -> unit -> t
+(** IBM QS22 restricted to a single Cell (paper §6): 1 PPE, [n_spe] SPEs
+    (default 8), 25 GB/s interfaces, 200 GB/s EIB, 256 kB local store. *)
+
+val qs22_dual : ?n_spe:int -> ?flat:bool -> unit -> t
+(** Both Cell processors of a QS22 (2 PPEs, up to 16 SPEs) — the
+    multi-Cell extension the paper lists as future work (S7). By default
+    the coherent inter-Cell interface (BIF, ~20 GB/s each direction) is a
+    shared contention point for cross-Cell traffic; pass [~flat:true] for
+    the optimistic contention-free model. *)
+
+val ps3 : ?n_spe:int -> unit -> t
+(** Sony PlayStation 3: identical except only up to 6 usable SPEs. *)
+
+val n_pes : t -> int
+(** Total number of processing elements [n = nP + nS]. *)
+
+val pe_class : t -> int -> pe_class
+(** Class of PE [i]; PPEs occupy indices [0 .. nP-1].
+    @raise Invalid_argument if the index is out of range. *)
+
+val is_spe : t -> int -> bool
+val is_ppe : t -> int -> bool
+
+val ppes : t -> int list
+(** Indices of the PPE cores, in increasing order. *)
+
+val spes : t -> int list
+(** Indices of the SPE cores, in increasing order. *)
+
+val spe_memory_budget : t -> int
+(** Bytes of local store available for stream buffers: [LS - code]. *)
+
+val cell_of : t -> int -> int
+(** Cell chip hosting PE [i] (0 when [n_cells = 1]). *)
+
+val pe_name : t -> int -> string
+(** Human-readable name, e.g. ["PPE0"] or ["SPE3"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary printer. *)

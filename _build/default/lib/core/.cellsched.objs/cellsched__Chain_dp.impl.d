@@ -1,0 +1,1 @@
+lib/core/chain_dp.ml: Array Cell List Mapping Steady_state Streaming

@@ -1,0 +1,1 @@
+lib/core/chain_dp.mli: Cell Mapping Streaming

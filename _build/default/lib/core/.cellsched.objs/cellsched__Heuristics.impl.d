@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Cell Chain_dp Fun List Lp Mapping Milp_formulation Steady_state Streaming Support

@@ -1,0 +1,1 @@
+lib/core/mapping_search.ml: Array Cell Float Fun Heuristics List Mapping Steady_state Streaming Unix

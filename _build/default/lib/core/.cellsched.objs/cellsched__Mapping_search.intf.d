@@ -1,0 +1,1 @@
+lib/core/mapping_search.mli: Cell Mapping Streaming

@@ -1,0 +1,1 @@
+lib/core/milp_formulation.ml: Array Cell Fun List Lp Mapping Printf Steady_state Streaming

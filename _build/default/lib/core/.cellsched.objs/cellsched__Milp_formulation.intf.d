@@ -1,0 +1,1 @@
+lib/core/milp_formulation.mli: Cell Lp Mapping Streaming

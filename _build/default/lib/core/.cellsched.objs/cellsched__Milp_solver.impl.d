@@ -1,0 +1,1 @@
+lib/core/milp_solver.ml: Cell Float Heuristics Lp Mapping Mapping_search Milp_formulation Steady_state Streaming Unix

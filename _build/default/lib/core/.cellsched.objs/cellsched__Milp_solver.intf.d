@@ -1,0 +1,1 @@
+lib/core/milp_solver.mli: Cell Mapping Streaming

@@ -1,0 +1,1 @@
+lib/core/np_reduction.ml: Array Cell Mapping Printf Steady_state Streaming

@@ -1,0 +1,1 @@
+lib/core/np_reduction.mli: Cell Mapping Streaming

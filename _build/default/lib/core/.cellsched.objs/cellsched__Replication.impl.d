@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array Cell Fun Hashtbl List Mapping Steady_state Streaming

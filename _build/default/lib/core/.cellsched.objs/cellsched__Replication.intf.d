@@ -1,0 +1,1 @@
+lib/core/replication.mli: Cell Mapping Steady_state Streaming

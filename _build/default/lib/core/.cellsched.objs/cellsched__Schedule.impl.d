@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Cell Format Fun Hashtbl List Mapping Printf Steady_state Streaming String

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Cell Format Mapping Streaming

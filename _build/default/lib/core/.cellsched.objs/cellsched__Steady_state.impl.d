@@ -1,0 +1,1 @@
+lib/core/steady_state.ml: Array Cell Float Format Fun List Mapping Streaming

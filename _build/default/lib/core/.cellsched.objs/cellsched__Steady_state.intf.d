@@ -1,0 +1,1 @@
+lib/core/steady_state.mli: Cell Format Mapping Streaming

@@ -1,0 +1,24 @@
+(** Interval dynamic programming for chain applications.
+
+    The paper's NP-completeness proof (§3.2) reduces from scheduling a
+    {e chain} of tasks, and its third experimental graph is a 50-task
+    chain. For chains, a classical structure applies: map at most one
+    {e contiguous interval} of the chain to each SPE and leave the rest on
+    the PPE. Among interval mappings the optimum can be found in polynomial
+    time by a binary search on the period combined with a DP that, for a
+    candidate period [T], finds the minimum PPE work achievable with at
+    most [nS] intervals whose SPE work and local-store footprint both fit.
+
+    Interval mappings also minimize cut edges (at most two remote edges per
+    SPE), which is why they behave well under the Cell's DMA limits. The
+    result is not guaranteed optimal among {e all} mappings, but it is a
+    strong polynomial-time baseline for chains — one of the "involved
+    heuristics" the paper's conclusion calls for. *)
+
+val is_chain : Streaming.Graph.t -> bool
+(** True when every task has at most one predecessor and one successor and
+    the graph is connected as a single path. *)
+
+val solve : Cell.Platform.t -> Streaming.Graph.t -> Mapping.t option
+(** Best interval mapping of a chain; [None] if the graph is not a chain.
+    The returned mapping is feasible (memory and DMA limits hold). *)

@@ -1,0 +1,306 @@
+module G = Streaming.Graph
+module P = Cell.Platform
+
+let ppe_only platform g = Mapping.all_on_ppe platform g
+
+(* Incremental placement state shared by the greedy strategies: per-PE
+   compute load, SPE memory footprint and DMA counters, maintained while
+   tasks are placed in topological order (so a task's predecessors are
+   always placed before it). *)
+type state = {
+  platform : P.t;
+  g : G.t;
+  buff : float array;  (* per-edge buffer bytes *)
+  assignment : int array;  (* -1 = not placed yet *)
+  compute : float array;
+  memory : float array;
+  dma_in : int array;
+  dma_to_ppe : int array;
+}
+
+let make_state platform g =
+  let fp = Steady_state.first_periods g in
+  {
+    platform;
+    g;
+    buff = Steady_state.buffer_sizes ~first_periods:fp g;
+    assignment = Array.make (G.n_tasks g) (-1);
+    compute = Array.make (P.n_pes platform) 0.;
+    memory = Array.make (P.n_pes platform) 0.;
+    dma_in = Array.make (P.n_pes platform) 0;
+    dma_to_ppe = Array.make (P.n_pes platform) 0;
+  }
+
+let task_buffer_bytes st k =
+  let sum = List.fold_left (fun acc e -> acc +. st.buff.(e)) 0. in
+  sum (G.out_edges st.g k) +. sum (G.in_edges st.g k)
+
+(* Number of in-edges of [k] whose (already placed) producer is remote. *)
+let remote_in_edges st k pe =
+  List.length
+    (List.filter
+       (fun e ->
+         let src = (G.edge st.g e).G.src in
+         st.assignment.(src) >= 0 && st.assignment.(src) <> pe)
+       (G.in_edges st.g k))
+
+(* Predecessor SPEs that would gain a to-PPE transfer if [k] lands on a
+   PPE. *)
+let spe_preds st k =
+  List.filter_map
+    (fun e ->
+      let src = (G.edge st.g e).G.src in
+      let pe = st.assignment.(src) in
+      if pe >= 0 && P.is_spe st.platform pe then Some pe else None)
+    (G.in_edges st.g k)
+
+let can_place st k pe =
+  if P.is_spe st.platform pe then begin
+    let budget = float_of_int (P.spe_memory_budget st.platform) in
+    st.memory.(pe) +. task_buffer_bytes st k <= budget
+    && st.dma_in.(pe) + remote_in_edges st k pe <= st.platform.P.max_dma_in
+  end
+  else
+    (* A PPE placement consumes a to-PPE DMA slot on every remote SPE
+       predecessor. *)
+    List.for_all
+      (fun spe -> st.dma_to_ppe.(spe) + 1 <= st.platform.P.max_dma_to_ppe)
+      (spe_preds st k)
+
+let place st k pe =
+  st.assignment.(k) <- pe;
+  let cls = P.pe_class st.platform pe in
+  let w = Streaming.Task.w (G.task st.g k) cls in
+  let w = if cls = P.PPE then w /. st.platform.P.ppe_speedup else w in
+  st.compute.(pe) <- st.compute.(pe) +. w;
+  if P.is_spe st.platform pe then
+    st.memory.(pe) <- st.memory.(pe) +. task_buffer_bytes st k;
+  let account_in e =
+    let src = (G.edge st.g e).G.src in
+    let src_pe = st.assignment.(src) in
+    if src_pe >= 0 && src_pe <> pe then begin
+      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) + 1;
+      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
+        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) + 1
+    end
+  in
+  List.iter account_in (G.in_edges st.g k)
+
+let finish st =
+  Mapping.make st.platform st.g
+    (Array.map (fun pe -> if pe < 0 then 0 else pe) st.assignment)
+
+let greedy_generic ~choose platform g =
+  let st = make_state platform g in
+  let order = G.topological_order g in
+  let handle k =
+    match choose st k with
+    | Some pe -> place st k pe
+    | None -> place st k 0
+  in
+  Array.iter handle order;
+  finish st
+
+let greedy_mem platform g =
+  let choose st k =
+    let candidates = List.filter (can_place st k) (P.spes st.platform) in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best pe -> if st.memory.(pe) < st.memory.(best) then pe else best)
+             first rest)
+  in
+  greedy_generic ~choose platform g
+
+let greedy_cpu platform g =
+  let choose st k =
+    let load pe =
+      let cls = P.pe_class st.platform pe in
+      let w = Streaming.Task.w (G.task st.g k) cls in
+      let w = if cls = P.PPE then w /. st.platform.P.ppe_speedup else w in
+      st.compute.(pe) +. w
+    in
+    let candidates =
+      List.filter (can_place st k)
+        (List.init (P.n_pes st.platform) Fun.id)
+    in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best pe -> if load pe < load best then pe else best)
+             first rest)
+  in
+  greedy_generic ~choose platform g
+
+(* Offload tasks to SPEs by decreasing value density w_ppe / memory
+   footprint: the optimal structure when the SPE local stores are the
+   binding resource (the usual regime on the Cell; cf. the paper's
+   observation that SPE memory dominates the mapping problem). *)
+let density_pack platform g =
+  let st = make_state platform g in
+  let nk = G.n_tasks g in
+  let w_ppe k =
+    (G.task g k).Streaming.Task.w_ppe /. platform.P.ppe_speedup
+  in
+  let density k =
+    let mem = task_buffer_bytes st k in
+    if mem <= 0. then infinity else w_ppe k /. mem
+  in
+  let by_density = Array.init nk Fun.id in
+  Array.sort (fun a b -> compare (density b) (density a)) by_density;
+  let budget = float_of_int (P.spe_memory_budget platform) in
+  let spes = Array.of_list (P.spes platform) in
+  let place_spe k =
+    (* Least-loaded (compute) SPE with room for the buffers. *)
+    let best = ref (-1) in
+    Array.iter
+      (fun pe ->
+        if st.memory.(pe) +. task_buffer_bytes st k <= budget then
+          match !best with
+          | -1 -> best := pe
+          | b -> if st.compute.(pe) < st.compute.(b) then best := pe)
+      spes;
+    !best
+  in
+  Array.iter
+    (fun k ->
+      match place_spe k with
+      | -1 -> st.assignment.(k) <- 0
+      | pe ->
+          st.assignment.(k) <- pe;
+          st.memory.(pe) <- st.memory.(pe) +. task_buffer_bytes st k;
+          st.compute.(pe) <-
+            st.compute.(pe) +. (G.task g k).Streaming.Task.w_spe)
+    by_density;
+  finish st
+
+let random ~rng platform g =
+  let n = P.n_pes platform in
+  Mapping.make platform g
+    (Array.init (G.n_tasks g) (fun _ -> Support.Rng.int rng n))
+
+let local_search ?(max_passes = 50) platform g mapping =
+  let assignment = Mapping.to_array mapping in
+  let n = P.n_pes platform in
+  let best_period =
+    ref
+      (Steady_state.period platform
+         (Steady_state.loads platform g (Mapping.make platform g assignment)))
+  in
+  let eval () =
+    let candidate = Mapping.make platform g assignment in
+    if Steady_state.feasible platform g candidate then
+      Some (Steady_state.period platform (Steady_state.loads platform g candidate))
+    else None
+  in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    (* Single-task moves. *)
+    for k = 0 to G.n_tasks g - 1 do
+      let home = assignment.(k) in
+      let best_move = ref None in
+      for pe = 0 to n - 1 do
+        if pe <> home then begin
+          assignment.(k) <- pe;
+          match eval () with
+          | Some t when t < !best_period -. 1e-12 ->
+              best_period := t;
+              best_move := Some pe
+          | _ -> ()
+        end
+      done;
+      assignment.(k) <- (match !best_move with Some pe -> improved := true; pe | None -> home)
+    done;
+    (* Pairwise swaps: essential when the local stores are full, where no
+       single move is feasible but exchanging tasks is. *)
+    for k1 = 0 to G.n_tasks g - 1 do
+      for k2 = k1 + 1 to G.n_tasks g - 1 do
+        if assignment.(k1) <> assignment.(k2) then begin
+          let p1 = assignment.(k1) and p2 = assignment.(k2) in
+          assignment.(k1) <- p2;
+          assignment.(k2) <- p1;
+          match eval () with
+          | Some t when t < !best_period -. 1e-12 ->
+              best_period := t;
+              improved := true
+          | _ ->
+              assignment.(k1) <- p1;
+              assignment.(k2) <- p2
+        end
+      done
+    done
+  done;
+  Mapping.make platform g assignment
+
+(* The dense-inverse simplex degrades on very large LPs; past this row
+   count the rounding falls back to the density heuristic. *)
+let lp_rounding_row_limit = 2000
+
+let lp_rounding ?(improve = true) platform g =
+  let formulation = Milp_formulation.build_compact platform g in
+  let fallback () =
+    let m = density_pack platform g in
+    if Steady_state.feasible platform g m then m else greedy_mem platform g
+  in
+  if Lp.Problem.n_constrs formulation.Milp_formulation.problem > lp_rounding_row_limit
+  then fallback ()
+  else
+  match Lp.Simplex.solve formulation.Milp_formulation.problem with
+  | exception Failure _ -> fallback ()
+  | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> fallback ()
+  | Lp.Simplex.Optimal sol ->
+      let alpha = formulation.Milp_formulation.alpha in
+      let st = make_state platform g in
+      let order = G.topological_order g in
+      let handle k =
+        (* PEs by decreasing fractional alpha, filtered by feasibility. *)
+        let ranked =
+          List.sort
+            (fun a b -> compare sol.Lp.Simplex.x.(alpha.(k).(b)) sol.Lp.Simplex.x.(alpha.(k).(a)))
+            (List.init (P.n_pes platform) Fun.id)
+        in
+        match List.find_opt (can_place st k) ranked with
+        | Some pe -> place st k pe
+        | None -> place st k 0
+      in
+      Array.iter handle order;
+      let mapping = finish st in
+      if improve && Steady_state.feasible platform g mapping then
+        local_search platform g mapping
+      else mapping
+
+let best_feasible platform g candidates =
+  let feasible =
+    List.filter (fun (_, m) -> Steady_state.feasible platform g m) candidates
+  in
+  let throughput (_, m) = Steady_state.throughput platform g m in
+  match feasible with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best c -> if throughput c > throughput best then c else best)
+           first rest)
+
+let standard_candidates ?(with_lp = true) platform g =
+  let base =
+    [
+      ("ppe-only", ppe_only platform g);
+      ("greedy-mem", greedy_mem platform g);
+      ("greedy-cpu", greedy_cpu platform g);
+      ("density-pack", density_pack platform g);
+    ]
+  in
+  let base =
+    match Chain_dp.solve platform g with
+    | Some m -> base @ [ ("chain-dp", m) ]
+    | None -> base
+  in
+  if with_lp then base @ [ ("lp-round", lp_rounding platform g) ] else base

@@ -1,0 +1,457 @@
+module G = Streaming.Graph
+module P = Cell.Platform
+
+type options = {
+  rel_gap : float;
+  max_nodes : int;
+  time_limit : float;
+  share_colocated_buffers : bool;
+}
+
+let default_options =
+  {
+    rel_gap = 0.05;
+    max_nodes = 10_000_000;
+    time_limit = 30.;
+    share_colocated_buffers = false;
+  }
+
+type result = {
+  mapping : Mapping.t;
+  period : float;
+  lower_bound : float;
+  gap : float;
+  nodes : int;
+  optimal_within_gap : bool;
+}
+
+type state = {
+  platform : P.t;
+  g : G.t;
+  share : bool;  (* model the S7 colocated-buffer sharing *)
+  order : int array;  (* topological order of assignment *)
+  buff : float array;
+  w_ppe : float array;  (* effective PPE cost (speedup applied) *)
+  w_spe : float array;
+  assignment : int array;  (* -1 = unassigned *)
+  compute : float array;
+  memory : float array;
+  bytes_in : float array;
+  bytes_out : float array;
+  link_out : float array;  (* cross-cell bytes per cell, each direction *)
+  link_in : float array;
+  dma_in : int array;
+  dma_to_ppe : int array;
+  mutable used_spes : int;  (* SPEs in use are spes.(0 .. used_spes-1) *)
+  by_ratio : int array;  (* tasks sorted by w_spe/w_ppe descending *)
+  suffix_wspe : float array;  (* sum of w_spe over order.(pos..) *)
+  mem_need : float array;  (* per-task SPE buffer footprint *)
+  by_mem_ratio : int array;  (* tasks sorted by mem_need/w_ppe descending *)
+  suffix_mem : float array;  (* sum of mem_need over order.(pos..), eligible *)
+  spe_eligible : bool array;
+      (* tasks whose buffers can fit an SPE at all; the others are
+         PPE-forced, a dominance that tightens the node bound *)
+  suffix_forced_wppe : float array;  (* PPE work of ineligible order.(pos..) *)
+}
+
+let make_state ~share platform g =
+  let nk = G.n_tasks g in
+  let fp = Steady_state.first_periods g in
+  let w_ppe =
+    Array.init nk (fun k ->
+        (G.task g k).Streaming.Task.w_ppe /. platform.P.ppe_speedup)
+  in
+  let w_spe = Array.init nk (fun k -> (G.task g k).Streaming.Task.w_spe) in
+  let order = G.topological_order g in
+  let ratio k = if w_ppe.(k) <= 0. then infinity else w_spe.(k) /. w_ppe.(k) in
+  let by_ratio = Array.init nk Fun.id in
+  Array.sort (fun a b -> compare (ratio b) (ratio a)) by_ratio;
+  let buff = Steady_state.buffer_sizes ~first_periods:fp g in
+  (* Per-task memory footprint used by the divisible relaxation. Under the
+     sharing model a single buffer per edge suffices when both endpoints
+     share an SPE, so half the incident mass is a valid lower bound. *)
+  let mem_need =
+    let factor = if share then 0.5 else 1.0 in
+    Array.init nk (fun k ->
+        let sum = List.fold_left (fun acc e -> acc +. buff.(e)) 0. in
+        factor *. (sum (G.out_edges g k) +. sum (G.in_edges g k)))
+  in
+  let mem_ratio k =
+    if w_ppe.(k) <= 0. then infinity else mem_need.(k) /. w_ppe.(k)
+  in
+  let by_mem_ratio = Array.init nk Fun.id in
+  Array.sort (fun a b -> compare (mem_ratio b) (mem_ratio a)) by_mem_ratio;
+  (* A task needs at least one copy of each incident buffer on its SPE,
+     sharing or not; beyond the budget it can only live on a PPE. *)
+  let budget = float_of_int (P.spe_memory_budget platform) in
+  let spe_eligible =
+    Array.init nk (fun k ->
+        let sum = List.fold_left (fun acc e -> acc +. buff.(e)) 0. in
+        sum (G.out_edges g k) +. sum (G.in_edges g k) <= budget +. 1e-9)
+  in
+  let suffix_mem = Array.make (nk + 1) 0. in
+  let suffix_forced_wppe = Array.make (nk + 1) 0. in
+  let suffix_wspe = Array.make (nk + 1) 0. in
+  for pos = nk - 1 downto 0 do
+    let k = order.(pos) in
+    suffix_mem.(pos) <-
+      (suffix_mem.(pos + 1) +. if spe_eligible.(k) then mem_need.(k) else 0.);
+    suffix_forced_wppe.(pos) <-
+      (suffix_forced_wppe.(pos + 1)
+      +. if spe_eligible.(k) then 0. else w_ppe.(k));
+    suffix_wspe.(pos) <-
+      (suffix_wspe.(pos + 1) +. if spe_eligible.(k) then w_spe.(k) else 0.)
+  done;
+  {
+    platform;
+    g;
+    share;
+    order;
+    buff;
+    w_ppe;
+    w_spe;
+    assignment = Array.make nk (-1);
+    compute = Array.make (P.n_pes platform) 0.;
+    memory = Array.make (P.n_pes platform) 0.;
+    bytes_in = Array.make (P.n_pes platform) 0.;
+    bytes_out = Array.make (P.n_pes platform) 0.;
+    link_out = Array.make platform.P.n_cells 0.;
+    link_in = Array.make platform.P.n_cells 0.;
+    dma_in = Array.make (P.n_pes platform) 0;
+    dma_to_ppe = Array.make (P.n_pes platform) 0;
+    used_spes = 0;
+    by_ratio;
+    suffix_wspe;
+    mem_need;
+    by_mem_ratio;
+    suffix_mem;
+    spe_eligible;
+    suffix_forced_wppe;
+  }
+
+let task_buffer_bytes st k =
+  let sum = List.fold_left (fun acc e -> acc +. st.buff.(e)) 0. in
+  sum (G.out_edges st.g k) +. sum (G.in_edges st.g k)
+
+(* Memory delta of placing [k] on [pe]: all its buffers, minus one copy of
+   every buffer shared with a neighbour already on [pe] (S7 optimization,
+   when enabled): the colocated edge then occupies a single buffer instead
+   of separate in/out copies, exactly matching
+   [Steady_state.loads ~share_colocated_buffers:true]. *)
+let mem_delta st k pe =
+  let base = task_buffer_bytes st k in
+  if not st.share then base
+  else begin
+    let saved e other =
+      if st.assignment.(other) = pe then st.buff.(e) else 0.
+    in
+    let saved_in =
+      List.fold_left
+        (fun acc e -> acc +. saved e (G.edge st.g e).G.src)
+        0. (G.in_edges st.g k)
+    in
+    let saved_out =
+      List.fold_left
+        (fun acc e -> acc +. saved e (G.edge st.g e).G.dst)
+        0. (G.out_edges st.g k)
+    in
+    base -. (saved_in +. saved_out)
+  end
+
+let remote_in_edges st k pe =
+  List.length
+    (List.filter
+       (fun e ->
+         let src = (G.edge st.g e).G.src in
+         st.assignment.(src) >= 0 && st.assignment.(src) <> pe)
+       (G.in_edges st.g k))
+
+let spe_preds st k pe =
+  List.filter_map
+    (fun e ->
+      let src = (G.edge st.g e).G.src in
+      let p = st.assignment.(src) in
+      if p >= 0 && p <> pe && P.is_spe st.platform p then Some p else None)
+    (G.in_edges st.g k)
+
+let can_place st k pe =
+  if P.is_spe st.platform pe then begin
+    let budget = float_of_int (P.spe_memory_budget st.platform) in
+    st.memory.(pe) +. mem_delta st k pe <= budget +. 1e-9
+    && st.dma_in.(pe) + remote_in_edges st k pe <= st.platform.P.max_dma_in
+  end
+  else
+    List.for_all
+      (fun spe -> st.dma_to_ppe.(spe) + 1 <= st.platform.P.max_dma_to_ppe)
+      (spe_preds st k pe)
+
+(* Apply/undo a placement; [undo] must mirror [apply] exactly. *)
+let apply st k pe =
+  st.assignment.(k) <- pe;
+  let w = if P.is_ppe st.platform pe then st.w_ppe.(k) else st.w_spe.(k) in
+  st.compute.(pe) <- st.compute.(pe) +. w;
+  let task = G.task st.g k in
+  st.bytes_in.(pe) <- st.bytes_in.(pe) +. task.Streaming.Task.read_bytes;
+  st.bytes_out.(pe) <- st.bytes_out.(pe) +. task.Streaming.Task.write_bytes;
+  if P.is_spe st.platform pe then
+    st.memory.(pe) <- st.memory.(pe) +. mem_delta st k pe;
+  let account e =
+    let src = (G.edge st.g e).G.src in
+    let src_pe = st.assignment.(src) in
+    if src_pe >= 0 && src_pe <> pe then begin
+      let data = (G.edge st.g e).G.data_bytes in
+      st.bytes_out.(src_pe) <- st.bytes_out.(src_pe) +. data;
+      st.bytes_in.(pe) <- st.bytes_in.(pe) +. data;
+      let sc = P.cell_of st.platform src_pe and dc = P.cell_of st.platform pe in
+      if sc <> dc then begin
+        st.link_out.(sc) <- st.link_out.(sc) +. data;
+        st.link_in.(dc) <- st.link_in.(dc) +. data
+      end;
+      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) + 1;
+      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
+        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) + 1
+    end
+  in
+  List.iter account (G.in_edges st.g k)
+
+let undo st k pe =
+  let account e =
+    let src = (G.edge st.g e).G.src in
+    let src_pe = st.assignment.(src) in
+    if src_pe >= 0 && src_pe <> pe then begin
+      let data = (G.edge st.g e).G.data_bytes in
+      st.bytes_out.(src_pe) <- st.bytes_out.(src_pe) -. data;
+      st.bytes_in.(pe) <- st.bytes_in.(pe) -. data;
+      let sc = P.cell_of st.platform src_pe and dc = P.cell_of st.platform pe in
+      if sc <> dc then begin
+        st.link_out.(sc) <- st.link_out.(sc) -. data;
+        st.link_in.(dc) <- st.link_in.(dc) -. data
+      end;
+      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) - 1;
+      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
+        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) - 1
+    end
+  in
+  List.iter account (G.in_edges st.g k);
+  if P.is_spe st.platform pe then begin
+    (* Recompute the same delta [apply] charged: neighbours of [k] other
+       than [k] itself are unchanged, so [mem_delta] is stable as long as
+       [k]'s own assignment is ignored, which it is (no self-loops). *)
+    st.memory.(pe) <- st.memory.(pe) -. mem_delta st k pe
+  end;
+  let task = G.task st.g k in
+  st.bytes_in.(pe) <- st.bytes_in.(pe) -. task.Streaming.Task.read_bytes;
+  st.bytes_out.(pe) <- st.bytes_out.(pe) -. task.Streaming.Task.write_bytes;
+  let w = if P.is_ppe st.platform pe then st.w_ppe.(k) else st.w_spe.(k) in
+  st.compute.(pe) <- st.compute.(pe) -. w;
+  st.assignment.(k) <- -1
+
+(* Max occupation of the resources committed so far. *)
+let assigned_bound st =
+  let n = P.n_pes st.platform in
+  let bw = st.platform.P.bw in
+  let t = ref 0. in
+  for pe = 0 to n - 1 do
+    if st.compute.(pe) > !t then t := st.compute.(pe);
+    let bi = st.bytes_in.(pe) /. bw in
+    if bi > !t then t := bi;
+    let bo = st.bytes_out.(pe) /. bw in
+    if bo > !t then t := bo
+  done;
+  for cell = 0 to st.platform.P.n_cells - 1 do
+    let lo = st.link_out.(cell) /. st.platform.P.inter_cell_bw in
+    if lo > !t then t := lo;
+    let li = st.link_in.(cell) /. st.platform.P.inter_cell_bw in
+    if li > !t then t := li
+  done;
+  !t
+
+let ppe_capacity st t =
+  List.fold_left
+    (fun acc pe -> acc +. Float.max 0. (t -. st.compute.(pe)))
+    0. (P.ppes st.platform)
+
+(* Shared greedy: remaining tasks hold [amount] units of some SPE-side
+   resource with pool capacity [pool]; the excess must be offloaded to the
+   PPEs, cheapest (largest amount-per-PPE-second) first. Returns true when
+   the offload fits in [cap_ppe]. *)
+let offload_fits st ~order_by ~amount ~pool ~total ~cap_ppe =
+  let deficit = total -. pool in
+  if deficit <= 0. then true
+  else begin
+    let removed = ref 0. and ppe_used = ref 0. in
+    let i = ref 0 in
+    let nk = Array.length order_by in
+    while !removed < deficit && !i < nk do
+      let k = order_by.(!i) in
+      if st.assignment.(k) < 0 && st.spe_eligible.(k) && amount k > 0. then begin
+        let need = deficit -. !removed in
+        if amount k <= need then begin
+          removed := !removed +. amount k;
+          ppe_used := !ppe_used +. st.w_ppe.(k)
+        end
+        else begin
+          let fraction = need /. amount k in
+          removed := deficit;
+          ppe_used := !ppe_used +. (fraction *. st.w_ppe.(k))
+        end
+      end;
+      incr i
+    done;
+    !removed >= deficit -. 1e-12 && !ppe_used <= cap_ppe +. 1e-12
+  end
+
+(* Divisible relaxation check: can the tasks of order.(pos..) be
+   fractionally completed within period [t]? Two necessary conditions are
+   tested, each a fractional knapsack: the SPE *work* pool of capacity
+   [sum_j (t - load_j)], and the SPE *local-store* pool of the remaining
+   memory budgets (constraint (1i) aggregated over SPEs). *)
+let divisible_feasible st ~pos t =
+  (* Tasks whose buffers exceed the local store are PPE-bound: their work
+     consumes PPE capacity before any offloading happens. *)
+  let cap_ppe = ppe_capacity st t -. st.suffix_forced_wppe.(pos) in
+  cap_ppe >= -1e-12
+  &&
+  let cap_spe =
+    List.fold_left
+      (fun acc pe -> acc +. Float.max 0. (t -. st.compute.(pe)))
+      0. (P.spes st.platform)
+  in
+  offload_fits st ~order_by:st.by_ratio
+    ~amount:(fun k -> st.w_spe.(k))
+    ~pool:cap_spe ~total:st.suffix_wspe.(pos) ~cap_ppe
+  && begin
+       let budget = float_of_int (P.spe_memory_budget st.platform) in
+       let mem_pool =
+         List.fold_left
+           (fun acc pe -> acc +. Float.max 0. (budget -. st.memory.(pe)))
+           0. (P.spes st.platform)
+       in
+       offload_fits st ~order_by:st.by_mem_ratio
+         ~amount:(fun k -> st.mem_need.(k))
+         ~pool:mem_pool ~total:st.suffix_mem.(pos) ~cap_ppe
+     end
+
+(* Valid lower bound on the completion period of the current node. *)
+let node_bound_exceeds st ~pos ~threshold =
+  assigned_bound st >= threshold || not (divisible_feasible st ~pos threshold)
+
+(* Tight node bound via bisection (used for reporting at the root). *)
+let node_bound st ~pos ~hi =
+  let lo = ref (assigned_bound st) in
+  if divisible_feasible st ~pos !lo then !lo
+  else begin
+    let hi = ref (Float.max hi (2. *. (!lo +. st.suffix_wspe.(pos) +. 1e-9))) in
+    for _ = 1 to 50 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if divisible_feasible st ~pos mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+exception Limit_hit
+
+let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
+    platform g =
+  let st = make_state ~share:options.share_colocated_buffers platform g in
+  let nk = G.n_tasks g in
+  let incumbent_mapping =
+    match incumbent with
+    | Some m ->
+        if
+          not
+            (Steady_state.feasible
+               ~share_colocated_buffers:options.share_colocated_buffers
+               platform g m)
+        then invalid_arg "Mapping_search.solve: incumbent is infeasible";
+        m
+    | None -> (
+        match
+          Heuristics.best_feasible platform g
+            (Heuristics.standard_candidates ~with_lp:false platform g)
+        with
+        | Some (_, m) -> m
+        | None -> Heuristics.ppe_only platform g)
+  in
+  let best = ref (Mapping.to_array incumbent_mapping) in
+  let best_period =
+    ref
+      (Steady_state.period platform
+         (Steady_state.loads
+            ~share_colocated_buffers:options.share_colocated_buffers platform g
+            incumbent_mapping))
+  in
+  let nodes = ref 0 in
+  let deadline = Unix.gettimeofday () +. options.time_limit in
+  let root_bound = node_bound st ~pos:0 ~hi:!best_period in
+  let root_bound = Float.max root_bound extra_lower_bound in
+  let spes = Array.of_list (P.spes platform) in
+  let rec explore pos =
+    incr nodes;
+    if !nodes land 4095 = 0 && Unix.gettimeofday () > deadline then
+      raise Limit_hit;
+    if !nodes >= options.max_nodes then raise Limit_hit;
+    if pos = nk then begin
+      let t = assigned_bound st in
+      if t < !best_period -. 1e-12 then begin
+        best_period := t;
+        best := Array.copy st.assignment
+      end
+    end
+    else begin
+      let k = st.order.(pos) in
+      (* Symmetric SPEs: only the ones in use plus a single fresh one. *)
+      let candidates =
+        P.ppes platform
+        @ List.init
+            (min (st.used_spes + 1) (Array.length spes))
+            (fun s -> spes.(s))
+      in
+      (* Promising children first: smallest resulting compute load. *)
+      let key pe =
+        let w = if P.is_ppe platform pe then st.w_ppe.(k) else st.w_spe.(k) in
+        st.compute.(pe) +. w
+      in
+      let candidates = List.sort (fun a b -> compare (key a) (key b)) candidates in
+      let visit pe =
+        if can_place st k pe then begin
+          let was_used = st.used_spes in
+          if
+            P.is_spe platform pe
+            && st.used_spes < Array.length spes
+            && pe = spes.(st.used_spes)
+          then
+            st.used_spes <- st.used_spes + 1;
+          apply st k pe;
+          let threshold = !best_period *. (1. -. options.rel_gap) in
+          if not (node_bound_exceeds st ~pos:(pos + 1) ~threshold) then
+            explore (pos + 1);
+          undo st k pe;
+          st.used_spes <- was_used
+        end
+      in
+      List.iter visit candidates
+    end
+  in
+  let optimal_within_gap =
+    try
+      explore 0;
+      true
+    with Limit_hit -> false
+  in
+  let mapping = Mapping.make platform g !best in
+  let period = !best_period in
+  let lower_bound =
+    if optimal_within_gap then
+      Float.max root_bound (period *. (1. -. options.rel_gap))
+    else root_bound
+  in
+  let lower_bound = Float.min lower_bound period in
+  {
+    mapping;
+    period;
+    lower_bound;
+    gap = (if period <= 0. then 0. else (period -. lower_bound) /. period);
+    nodes = !nodes;
+    optimal_within_gap;
+  }

@@ -1,0 +1,55 @@
+(** Combinatorial branch-and-bound over task-to-PE assignments.
+
+    The generic MILP solver ({!Lp.Branch_bound}) is exact but re-solves a
+    large LP at every node, which does not scale to the paper's 50–94-task
+    graphs. This module exploits the structure of the mapping problem the
+    way a commercial solver exploits the model: tasks are assigned one by
+    one in topological order, identical SPEs are explored up to symmetry
+    (candidate PEs are the PPEs, the SPEs already in use, and a single
+    fresh SPE), infeasible placements (local store, DMA queues) are pruned
+    immediately, and each node is bounded below by
+
+    - the occupation of the resources already committed, and
+    - a divisible-load relaxation of the remaining work: remaining tasks
+      may be split fractionally between the PPE pool and the SPE pool
+      (a valid relaxation of constraints (1e)/(1f)), evaluated greedily by
+      [w_spe/w_ppe] ratio inside a bisection on the period.
+
+    Like the paper's use of CPLEX, the search can stop once the incumbent
+    is proven within [rel_gap] of optimal. *)
+
+type options = {
+  rel_gap : float;  (** Relative optimality gap (paper: 0.05). *)
+  max_nodes : int;
+  time_limit : float;  (** Seconds. *)
+  share_colocated_buffers : bool;
+      (** Model the §7 colocated-buffer sharing in the memory accounting
+          (both placement checks and bounds). *)
+}
+
+val default_options : options
+(** [rel_gap = 0.05], [max_nodes = 10_000_000], [time_limit = 30.],
+    [share_colocated_buffers = false]. *)
+
+type result = {
+  mapping : Mapping.t;  (** Best feasible mapping found. *)
+  period : float;  (** Its period. *)
+  lower_bound : float;  (** Proven lower bound on the optimal period. *)
+  gap : float;  (** [(period - lower_bound) / period]. *)
+  nodes : int;
+  optimal_within_gap : bool;
+      (** True when the tree was exhausted (incumbent proven within
+          [rel_gap]), false when a node/time limit stopped the search. *)
+}
+
+val solve :
+  ?options:options ->
+  ?incumbent:Mapping.t ->
+  ?extra_lower_bound:float ->
+  Cell.Platform.t ->
+  Streaming.Graph.t ->
+  result
+(** [incumbent] seeds the search (it must be feasible; default: the best
+    standard heuristic). [extra_lower_bound] is a known valid lower bound
+    on the period (e.g. the root LP relaxation) used to tighten the
+    reported gap. *)

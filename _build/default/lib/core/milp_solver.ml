@@ -1,0 +1,171 @@
+module G = Streaming.Graph
+module P = Cell.Platform
+
+type engine = Exact | Search | Auto
+
+type options = {
+  rel_gap : float;
+  time_limit : float;
+  max_nodes : int;
+  engine : engine;
+  root_lp : bool;
+  share_colocated_buffers : bool;
+}
+
+let default_options =
+  {
+    rel_gap = 0.05;
+    time_limit = 60.;
+    max_nodes = 10_000_000;
+    engine = Auto;
+    root_lp = false;
+    share_colocated_buffers = false;
+  }
+
+type result = {
+  mapping : Mapping.t;
+  period : float;
+  throughput : float;
+  lower_bound : float;
+  gap : float;
+  proven_within_gap : bool;
+  nodes : int;
+  solve_time : float;
+}
+
+let predicted_throughput r = r.throughput
+
+let finish ~share ~start ~platform ~g ~mapping ~lower_bound ~proven ~nodes =
+  let period =
+    Steady_state.period platform
+      (Steady_state.loads ~share_colocated_buffers:share platform g mapping)
+  in
+  let lower_bound = Float.min lower_bound period in
+  {
+    mapping;
+    period;
+    throughput = (if period > 0. then 1. /. period else infinity);
+    lower_bound;
+    gap = (if period > 0. then (period -. lower_bound) /. period else 0.);
+    proven_within_gap = proven;
+    nodes;
+    solve_time = Unix.gettimeofday () -. start;
+  }
+
+(* Decide between the generic MILP branch & bound and the specialized
+   search: the former re-solves a large LP per node, so reserve it for
+   small instances. *)
+let pick_engine options platform g =
+  match options.engine with
+  | (Exact | Search) as e -> e
+  | Auto ->
+      if G.n_tasks g * P.n_pes platform <= 40 then Exact else Search
+
+let solve_exact ~options ~start platform g incumbent =
+  let formulation =
+    Milp_formulation.build_compact
+      ~share_colocated_buffers:options.share_colocated_buffers platform g
+  in
+  let warm = Milp_formulation.warm_start formulation platform g incumbent in
+  let bb_options =
+    {
+      Lp.Branch_bound.rel_gap = options.rel_gap;
+      max_nodes = options.max_nodes;
+      time_limit = options.time_limit;
+      int_tol = 1e-6;
+    }
+  in
+  let outcome =
+    Lp.Branch_bound.solve ~options:bb_options ~warm_start:warm
+      formulation.Milp_formulation.problem
+  in
+  let mapping, proven =
+    match outcome.Lp.Branch_bound.best with
+    | Some sol ->
+        let m =
+          Milp_formulation.mapping_of_solution formulation platform g
+            sol.Lp.Simplex.x
+        in
+        (* The MILP constraints imply feasibility, but double-check (and
+           fall back to the incumbent) to stay safe against numerics. *)
+        if Steady_state.feasible platform g m then
+          (m, outcome.Lp.Branch_bound.status = Lp.Branch_bound.Optimal)
+        else (incumbent, false)
+    | None -> (incumbent, false)
+  in
+  let lower_bound = Float.max 0. outcome.Lp.Branch_bound.bound in
+  finish ~share:options.share_colocated_buffers ~start ~platform ~g ~mapping
+    ~lower_bound ~proven ~nodes:outcome.Lp.Branch_bound.nodes
+
+(* The dense-inverse simplex is only trusted on LPs small enough to stay
+   numerically healthy; beyond this the root bound comes from the search's
+   own combinatorial relaxation. *)
+let root_lp_row_limit = 2000
+
+let solve_search ~options ~start platform g incumbent =
+  let root_lp_bound =
+    if not options.root_lp then 0.
+    else begin
+      let formulation =
+        Milp_formulation.build_compact
+          ~share_colocated_buffers:options.share_colocated_buffers platform g
+      in
+      let problem = formulation.Milp_formulation.problem in
+      if Lp.Problem.n_constrs problem > root_lp_row_limit then 0.
+      else
+        match Lp.Simplex.solve problem with
+        | Lp.Simplex.Optimal sol -> (
+            (* Only trust a bound that is actually primal feasible. *)
+            match
+              Lp.Problem.check_feasible ~tol:1e-5 ~check_integrality:false
+                problem sol.Lp.Simplex.x
+            with
+            | Ok () -> Float.max 0. sol.Lp.Simplex.objective
+            | Error _ -> 0.)
+        | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> 0.
+        | exception Failure _ -> 0.
+    end
+  in
+  let search_options =
+    {
+      Mapping_search.rel_gap = options.rel_gap;
+      max_nodes = options.max_nodes;
+      time_limit = options.time_limit;
+      share_colocated_buffers = options.share_colocated_buffers;
+    }
+  in
+  let r =
+    Mapping_search.solve ~options:search_options ~incumbent
+      ~extra_lower_bound:root_lp_bound platform g
+  in
+  (* Polish the incumbent; this can only improve it, and the bound remains
+     valid. (The plain local search is conservative under buffer sharing:
+     it only accepts plain-feasible mappings, which are a subset.) *)
+  let mapping = Heuristics.local_search platform g r.Mapping_search.mapping in
+  let mapping =
+    let model_period m =
+      Steady_state.period platform
+        (Steady_state.loads
+           ~share_colocated_buffers:options.share_colocated_buffers platform g m)
+    in
+    if model_period mapping < model_period r.Mapping_search.mapping then mapping
+    else r.Mapping_search.mapping
+  in
+  finish ~share:options.share_colocated_buffers ~start ~platform ~g ~mapping
+    ~lower_bound:r.Mapping_search.lower_bound
+    ~proven:r.Mapping_search.optimal_within_gap ~nodes:r.Mapping_search.nodes
+
+let solve ?(options = default_options) platform g =
+  let start = Unix.gettimeofday () in
+  let incumbent =
+    match
+      Heuristics.best_feasible platform g
+        (Heuristics.standard_candidates ~with_lp:false platform g)
+    with
+    | Some (_, m) -> Heuristics.local_search platform g m
+    | None -> Heuristics.ppe_only platform g
+  in
+  match pick_engine options platform g with
+  | Exact -> solve_exact ~options ~start platform g incumbent
+  | Search -> solve_search ~options ~start platform g incumbent
+  | Auto -> assert false

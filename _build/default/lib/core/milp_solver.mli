@@ -1,0 +1,51 @@
+(** Throughput-optimal mapping via mixed linear programming (paper §5–6).
+
+    This is the entry point corresponding to the paper's "Linear
+    Programming" strategy: build the mapping MILP, seed it with the best
+    heuristic mapping, and solve it with a 5 % relative optimality gap —
+    the same stopping rule the paper applies to CPLEX.
+
+    Two engines are available and chosen automatically by instance size:
+
+    - [`Exact]: the generic {!Lp.Branch_bound} on the compact formulation
+      (exact within the gap; right for small and mid-size graphs);
+    - [`Search]: the specialized {!Mapping_search} branch and bound,
+      optionally bounded below by the root LP relaxation (scales to the
+      paper's 50–94-task graphs).
+
+    A PPE-only mapping is always feasible, so [solve] always returns a
+    mapping. *)
+
+type engine = Exact | Search | Auto
+
+type options = {
+  rel_gap : float;  (** Stop at this optimality gap (default 0.05). *)
+  time_limit : float;  (** Seconds (default 60). *)
+  max_nodes : int;
+  engine : engine;
+  root_lp : bool;
+      (** For [Search]: solve the compact LP relaxation at the root to
+          tighten the reported bound. Defaults to [false]: the LP takes
+          tens of seconds on paper-scale graphs while the search's own
+          combinatorial relaxation gives a comparable bound. *)
+  share_colocated_buffers : bool;  (** Model the §7 buffer sharing. *)
+}
+
+val default_options : options
+
+type result = {
+  mapping : Mapping.t;
+  period : float;  (** Period of [mapping] (seconds per instance). *)
+  throughput : float;  (** Instances per second: [1 / period]. *)
+  lower_bound : float;  (** Proven lower bound on the optimal period. *)
+  gap : float;  (** [(period - lower_bound) / period]. *)
+  proven_within_gap : bool;  (** Whether the target gap was certified. *)
+  nodes : int;
+  solve_time : float;  (** Wall-clock seconds. *)
+}
+
+val solve : ?options:options -> Cell.Platform.t -> Streaming.Graph.t -> result
+
+val predicted_throughput : result -> float
+(** Synonym of [r.throughput]: the theoretical throughput of the mapping,
+    as plotted in the paper's Fig. 6. *)

@@ -1,0 +1,48 @@
+type mms_instance = { lengths : (float * float) array; bound : float }
+
+(* The reduction neutralizes every Cell-specific constraint that the proof
+   ignores: data sizes are zero, so buffers, bandwidth and DMA counts are
+   all trivially satisfied. *)
+let to_cell_instance inst =
+  let platform = Cell.Platform.make ~n_ppe:1 ~n_spe:1 () in
+  let tasks =
+    Array.mapi
+      (fun k (l1, l2) ->
+        Streaming.Task.make
+          ~name:(Printf.sprintf "T%d" (k + 1))
+          ~w_ppe:l1 ~w_spe:l2 ())
+      inst.lengths
+  in
+  let graph = Streaming.Graph.chain tasks ~data_bytes:0. in
+  (platform, graph, 1. /. inst.bound)
+
+let mapping_of_allocation inst allocation =
+  let platform, graph, _ = to_cell_instance inst in
+  if Array.length allocation <> Array.length inst.lengths then
+    invalid_arg "Np_reduction.mapping_of_allocation: arity";
+  let assignment =
+    Array.map
+      (function
+        | 0 -> 0  (* machine 1 -> PPE0 *)
+        | 1 -> 1  (* machine 2 -> SPE0 *)
+        | _ -> invalid_arg "Np_reduction.mapping_of_allocation: machine id")
+      allocation
+  in
+  (platform, Mapping.make platform graph assignment)
+
+let allocation_of_mapping mapping =
+  Array.init (Mapping.n_tasks mapping) (fun k -> Mapping.pe mapping k)
+
+let mms_feasible inst allocation =
+  let m1 = ref 0. and m2 = ref 0. in
+  Array.iteri
+    (fun k machine ->
+      let l1, l2 = inst.lengths.(k) in
+      if machine = 0 then m1 := !m1 +. l1 else m2 := !m2 +. l2)
+    allocation;
+  !m1 <= inst.bound +. 1e-12 && !m2 <= inst.bound +. 1e-12
+
+let cell_feasible inst allocation =
+  let _, graph, rho = to_cell_instance inst in
+  let platform, mapping = mapping_of_allocation inst allocation in
+  Steady_state.achieves platform graph mapping rho

@@ -1,0 +1,1 @@
+lib/daggen/generator.ml: Array Float List Printf Streaming Support

@@ -1,0 +1,1 @@
+lib/daggen/generator.mli: Streaming Support

@@ -1,0 +1,1 @@
+lib/daggen/presets.ml: Generator List Printf Streaming Support

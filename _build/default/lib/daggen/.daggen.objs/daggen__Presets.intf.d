@@ -1,0 +1,1 @@
+lib/daggen/presets.mli: Streaming

@@ -1,0 +1,148 @@
+type shape = {
+  n : int;
+  fat : float;
+  density : float;
+  regularity : float;
+  jump : int;
+}
+
+type costs = {
+  w_spe_range : float * float;
+  ppe_ratio_range : float * float;
+  data_bytes_range : float * float;
+  peek_weights : (int * float) list;
+  stateful_prob : float;
+  memory_io_bytes : float * float;
+}
+
+let default_costs =
+  {
+    w_spe_range = (1e-3, 4e-3);
+    ppe_ratio_range = (0.5, 2.0);
+    data_bytes_range = (512., 32768.);
+    peek_weights = [ (0, 0.6); (1, 0.3); (2, 0.1) ];
+    stateful_prob = 0.25;
+    memory_io_bytes = (1024., 8192.);
+  }
+
+let check_shape s =
+  if s.n < 1 then invalid_arg "Daggen: n must be >= 1";
+  if s.fat <= 0. then invalid_arg "Daggen: fat must be positive";
+  if s.density < 0. || s.density > 1. then invalid_arg "Daggen: density in [0,1]";
+  if s.regularity < 0. || s.regularity > 1. then
+    invalid_arg "Daggen: regularity in [0,1]";
+  if s.jump < 1 then invalid_arg "Daggen: jump must be >= 1"
+
+let sample_range rng (lo, hi) =
+  if lo > hi then invalid_arg "Daggen: empty range";
+  if lo = hi then lo else Support.Rng.float_in rng lo hi
+
+(* Log-uniform sample: heavy spread of data volumes, so that the value
+   density (work per byte of buffer) varies widely across tasks -- the
+   regime where the choice of which tasks to offload matters. *)
+let sample_log_range rng (lo, hi) =
+  if lo > hi || lo <= 0. then invalid_arg "Daggen: bad log range";
+  if lo = hi then lo
+  else exp (Support.Rng.float_in rng (log lo) (log hi))
+
+let sample_peek rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  if total <= 0. then 0
+  else begin
+    let x = Support.Rng.float rng total in
+    let rec pick acc = function
+      | [] -> 0
+      | [ (v, _) ] -> v
+      | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+    in
+    pick 0. weights
+  end
+
+let sample_task rng costs ~name =
+  let w_spe = sample_range rng costs.w_spe_range in
+  let ratio = sample_range rng costs.ppe_ratio_range in
+  Streaming.Task.make ~name ~w_ppe:(w_spe *. ratio) ~w_spe
+    ~peek:(sample_peek rng costs.peek_weights)
+    ~stateful:(Support.Rng.bernoulli rng costs.stateful_prob)
+    ()
+
+(* Partition n tasks into layers whose widths fluctuate around
+   [fat * sqrt n] according to [regularity]. *)
+let layer_widths rng shape =
+  let ideal = Float.max 1. (shape.fat *. sqrt (float_of_int shape.n)) in
+  let rec cut remaining acc =
+    if remaining = 0 then List.rev acc
+    else begin
+      let spread = 1. -. shape.regularity in
+      let factor = Support.Rng.float_in rng (1. -. spread) (1. +. spread) in
+      let width = max 1 (int_of_float (Float.round (ideal *. factor))) in
+      let width = min width remaining in
+      cut (remaining - width) (width :: acc)
+    end
+  in
+  cut shape.n []
+
+let add_memory_io rng costs g =
+  let sources = Streaming.Graph.sources g and sinks = Streaming.Graph.sinks g in
+  let amend k (t : Streaming.Task.t) =
+    let read_bytes =
+      if List.mem k sources then sample_range rng costs.memory_io_bytes else 0.
+    in
+    let write_bytes =
+      if List.mem k sinks then sample_range rng costs.memory_io_bytes else 0.
+    in
+    { t with Streaming.Task.read_bytes; write_bytes }
+  in
+  Streaming.Graph.map_tasks amend g
+
+let generate ~rng ~shape ~costs =
+  check_shape shape;
+  let widths = layer_widths rng shape in
+  let b = Streaming.Graph.builder () in
+  (* layers.(i) is the array of task ids in layer i. *)
+  let layers =
+    List.mapi
+      (fun layer width ->
+        Array.init width (fun pos ->
+            let name = Printf.sprintf "T%d_%d" layer pos in
+            Streaming.Graph.add_task b (sample_task rng costs ~name)))
+      widths
+    |> Array.of_list
+  in
+  let data () = sample_log_range rng costs.data_bytes_range in
+  for layer = 1 to Array.length layers - 1 do
+    let candidates_layers =
+      List.init (min shape.jump layer) (fun d -> layers.(layer - 1 - d))
+    in
+    let connect dst =
+      let connected = ref false in
+      let try_edge src =
+        if Support.Rng.bernoulli rng shape.density then begin
+          Streaming.Graph.add_edge b ~src ~dst ~data_bytes:(data ());
+          connected := true
+        end
+      in
+      List.iter (fun srcs -> Array.iter try_edge srcs) candidates_layers;
+      if not !connected then begin
+        (* Guarantee at least one predecessor from the previous layer. *)
+        let src = Support.Rng.choose rng layers.(layer - 1) in
+        Streaming.Graph.add_edge b ~src ~dst ~data_bytes:(data ())
+      end
+    in
+    Array.iter connect layers.(layer)
+  done;
+  add_memory_io rng costs (Streaming.Graph.build b)
+
+let generate_chain ~rng ~n ~costs =
+  if n < 1 then invalid_arg "Daggen.generate_chain: n must be >= 1";
+  let b = Streaming.Graph.builder () in
+  let ids =
+    Array.init n (fun k ->
+        let name = Printf.sprintf "T%d" k in
+        Streaming.Graph.add_task b (sample_task rng costs ~name))
+  in
+  for k = 0 to n - 2 do
+    Streaming.Graph.add_edge b ~src:ids.(k) ~dst:ids.(k + 1)
+      ~data_bytes:(sample_log_range rng costs.data_bytes_range)
+  done;
+  add_memory_io rng costs (Streaming.Graph.build b)

@@ -1,0 +1,47 @@
+(** Random task-graph generation in the style of Suter's DagGen tool, which
+    the paper uses for its three experimental graphs (§6.2).
+
+    Graphs are built layer by layer. [fat] controls the width of the layers
+    (ideal width is [fat * sqrt n]); [regularity] in [0,1] controls how much
+    layer widths fluctuate around the ideal; [density] is the probability of
+    an edge between a task and a candidate predecessor; [jump] is how many
+    layers back an edge may reach. Every non-source task receives at least
+    one predecessor from the previous layer, so the graph is connected from
+    layer to layer. All randomness flows through the given {!Support.Rng.t},
+    making generation reproducible from a seed. *)
+
+type shape = {
+  n : int;  (** Number of tasks (>= 1). *)
+  fat : float;  (** Width factor, > 0; small = chain-like, large = wide. *)
+  density : float;  (** Edge probability in [0,1]. *)
+  regularity : float;  (** Layer-width regularity in [0,1]; 1 = uniform. *)
+  jump : int;  (** Max layer distance of an edge, >= 1. *)
+}
+
+type costs = {
+  w_spe_range : float * float;  (** SPE seconds per instance, uniform. *)
+  ppe_ratio_range : float * float;
+      (** [w_ppe = w_spe * ratio], ratio uniform in this range (unrelated
+          machines: both < 1 and > 1 values appear). *)
+  data_bytes_range : float * float;
+      (** Edge volume before CCR scaling; sampled log-uniformly. *)
+  peek_weights : (int * float) list;
+      (** Discrete distribution of the peek depth, e.g.
+          [[ (0, 0.6); (1, 0.3); (2, 0.1) ]]. *)
+  stateful_prob : float;  (** Probability that a task is stateful. *)
+  memory_io_bytes : float * float;
+      (** Range of per-instance main-memory traffic: sources read, sinks
+          write, a volume drawn from this range. *)
+}
+
+val default_costs : costs
+(** Calibrated as discussed in {!Streaming.Ccr}: [w_spe] in 2–8 ms,
+    PPE/SPE ratio in 0.5–2.0, edges 0.5–32 kB log-uniform, peeks mostly 0. *)
+
+val generate : rng:Support.Rng.t -> shape:shape -> costs:costs -> Streaming.Graph.t
+(** Generate a random streaming application.
+    @raise Invalid_argument on malformed parameters. *)
+
+val generate_chain : rng:Support.Rng.t -> n:int -> costs:costs -> Streaming.Graph.t
+(** Linear chain of [n] tasks with random costs (the paper's third graph is
+    "a simple chain graph with 50 tasks"). *)

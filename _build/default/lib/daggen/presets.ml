@@ -1,0 +1,97 @@
+let graph ~seed ~ccr ~shape =
+  let rng = Support.Rng.create seed in
+  let g = Generator.generate ~rng ~shape ~costs:Generator.default_costs in
+  Streaming.Ccr.scale_to g ~target:ccr
+
+let random_graph_1 ?(seed = 42) ?(ccr = 0.775) () =
+  graph ~seed ~ccr
+    ~shape:{ Generator.n = 50; fat = 0.25; density = 0.3; regularity = 0.7; jump = 2 }
+
+let random_graph_2 ?(seed = 43) ?(ccr = 0.775) () =
+  graph ~seed ~ccr
+    ~shape:{ Generator.n = 94; fat = 0.5; density = 0.25; regularity = 0.6; jump = 2 }
+
+let random_graph_3 ?(seed = 44) ?(ccr = 0.775) () =
+  let rng = Support.Rng.create seed in
+  let g = Generator.generate_chain ~rng ~n:50 ~costs:Generator.default_costs in
+  Streaming.Ccr.scale_to g ~target:ccr
+
+let all_random ?seed ?ccr () =
+  [
+    ("random graph 1", random_graph_1 ?seed ?ccr ());
+    ("random graph 2", random_graph_2 ?seed ?ccr ());
+    ("random graph 3", random_graph_3 ?seed ?ccr ());
+  ]
+
+let kb = 1024.
+
+let two_filter_chain () =
+  let filter name =
+    Streaming.Task.make ~name ~w_ppe:2.5e-3 ~w_spe:1.2e-3 ()
+  in
+  let t1 = { (filter "filter1") with Streaming.Task.read_bytes = 16. *. kb } in
+  let t2 = { (filter "filter2") with Streaming.Task.write_bytes = 16. *. kb } in
+  Streaming.Graph.chain [| t1; t2 |] ~data_bytes:(16. *. kb)
+
+let figure_2b () =
+  let t ?(peek = 0) name w_ppe w_spe =
+    Streaming.Task.make ~name ~w_ppe:(w_ppe *. 1e-3) ~w_spe:(w_spe *. 1e-3) ~peek ()
+  in
+  let tasks =
+    [|
+      { (t "T1" 1.0 1.8) with Streaming.Task.read_bytes = 8. *. kb };
+      t "T2" 2.0 1.0;
+      t "T3" 1.5 0.8;
+      t "T4" 2.5 1.2;
+      t ~peek:1 "T5" 1.2 0.7;
+      t "T6" 1.8 0.9;
+      t "T7" 2.2 1.1;
+      t "T8" 1.4 2.8;
+      { (t "T9" 1.0 2.0) with Streaming.Task.write_bytes = 4. *. kb };
+    |]
+  in
+  let e data_kb (src, dst) = (src, dst, data_kb *. kb) in
+  let edges =
+    List.map (e 12.)
+      [ (0, 1); (0, 2); (0, 3); (1, 4); (1, 5); (2, 5); (2, 6); (3, 6) ]
+    @ List.map (e 8.) [ (4, 7); (5, 7); (6, 8); (7, 8) ]
+  in
+  Streaming.Graph.of_tasks tasks edges
+
+let audio_encoder () =
+  let b = Streaming.Graph.builder () in
+  let add = Streaming.Graph.add_task b in
+  let task ?peek ?stateful ?read_bytes ?write_bytes name w_ppe w_spe =
+    add
+      (Streaming.Task.make ?peek ?stateful ?read_bytes ?write_bytes ~name
+         ~w_ppe:(w_ppe *. 1e-3) ~w_spe:(w_spe *. 1e-3) ())
+  in
+  (* 1152-sample stereo frame: 4608 B of 32-bit PCM per channel pair. *)
+  let frame_bytes = 4608. in
+  let framer = task ~read_bytes:frame_bytes "framer" 0.4 0.6 in
+  let groups = 8 in
+  let filterbank =
+    List.init groups (fun i ->
+        (* Polyphase subband analysis vectorizes well: SPE-friendly. *)
+        task (Printf.sprintf "filterbank%d" i) 4.0 1.4)
+  in
+  (* The psychoacoustic model inspects the next frame too: peek = 1. *)
+  let psycho = task ~peek:1 "psycho_model" 3.2 4.8 in
+  let bitalloc = task ~stateful:true "bit_alloc" 0.9 1.8 in
+  let quantizers =
+    List.init groups (fun i -> task (Printf.sprintf "quantize%d" i) 1.6 0.6)
+  in
+  let packer =
+    task ~stateful:true ~write_bytes:1044. "bitstream_pack" 1.1 2.6
+  in
+  let edge src dst data_bytes = Streaming.Graph.add_edge b ~src ~dst ~data_bytes in
+  List.iter (fun fb -> edge framer fb (frame_bytes /. float_of_int groups)) filterbank;
+  edge framer psycho frame_bytes;
+  edge psycho bitalloc 512.;
+  List.iter2
+    (fun fb q ->
+      edge fb q (1152. /. float_of_int groups *. 4.);
+      edge bitalloc q 64.)
+    filterbank quantizers;
+  List.iter (fun q -> edge q packer 432.) quantizers;
+  Streaming.Graph.build b

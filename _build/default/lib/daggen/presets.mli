@@ -1,0 +1,32 @@
+(** The concrete applications used in the paper's experiments (§6.2) and an
+    MP2-style audio encoder standing in for the "real audio encoder" of the
+    abstract. Each graph is deterministic given the seed, defaults matching
+    the benchmark harness. Graphs are produced at CCR 0.775 (the paper's
+    computation-intensive setting); rescale with {!Streaming.Ccr.scale_to}
+    for the other variants. *)
+
+val random_graph_1 : ?seed:int -> ?ccr:float -> unit -> Streaming.Graph.t
+(** 50-task narrow DAG (paper Fig. 5(a)): mostly sequential with short
+    parallel sections. *)
+
+val random_graph_2 : ?seed:int -> ?ccr:float -> unit -> Streaming.Graph.t
+(** 94-task wider DAG (paper Fig. 5(b)). *)
+
+val random_graph_3 : ?seed:int -> ?ccr:float -> unit -> Streaming.Graph.t
+(** Simple chain of 50 tasks (paper's third graph). *)
+
+val all_random : ?seed:int -> ?ccr:float -> unit -> (string * Streaming.Graph.t) list
+(** The three graphs above with their names. *)
+
+val two_filter_chain : unit -> Streaming.Graph.t
+(** The toy two-task pipeline of paper Fig. 2(a) (e.g. two video filters). *)
+
+val figure_2b : unit -> Streaming.Graph.t
+(** The nine-task example DAG of paper Fig. 2(b). *)
+
+val audio_encoder : unit -> Streaming.Graph.t
+(** MP2-style audio encoder: framer, 8 subband-filter groups, psychoacoustic
+    model (peek = 1: it looks one frame ahead), bit allocation, 8 quantizer
+    groups, bitstream packer. Costs are hand-written to be plausible for
+    1152-sample frames; the filterbank vectorizes well on SPEs while the
+    control-heavy packer favours the PPE. *)

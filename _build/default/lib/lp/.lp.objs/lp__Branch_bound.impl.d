@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Float List Option Problem Simplex Support Unix

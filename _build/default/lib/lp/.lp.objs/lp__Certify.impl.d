@@ -1,0 +1,1 @@
+lib/lp/certify.ml: Array Expr List Printf Problem Rational

@@ -1,0 +1,1 @@
+lib/lp/certify.mli: Problem Rational

@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Expr Float Format Fun List Printf

@@ -1,0 +1,167 @@
+type options = {
+  rel_gap : float;
+  max_nodes : int;
+  time_limit : float;
+  int_tol : float;
+}
+
+let default_options =
+  { rel_gap = 0.; max_nodes = 200_000; time_limit = 300.; int_tol = 1e-6 }
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type outcome = {
+  status : status;
+  best : Simplex.solution option;
+  bound : float;
+  nodes : int;
+  gap : float;
+}
+
+(* A node is a set of tightened bounds plus the bound inherited from its
+   parent's relaxation (a valid lower bound on every leaf below it). *)
+type node = { nlb : float array; nub : float array; nbound : float }
+
+module Node_heap = Support.Binary_heap.Make (struct
+  type t = node
+
+  let compare a b = compare a.nbound b.nbound
+end)
+
+let relative_gap ~incumbent ~bound =
+  if incumbent = infinity then infinity
+  else (incumbent -. bound) /. Float.max 1e-9 (abs_float incumbent)
+
+(* Most fractional integer variable, if any. *)
+let find_branch_var ~int_tol int_vars (x : float array) =
+  let best = ref (-1) and best_frac = ref int_tol in
+  let consider v =
+    let f = x.(v) -. Float.round x.(v) in
+    let dist = abs_float f in
+    if dist > !best_frac then begin
+      best := v;
+      best_frac := dist
+    end
+  in
+  List.iter consider int_vars;
+  if !best < 0 then None else Some !best
+
+let solve ?(options = default_options) ?warm_start problem =
+  let sense, _ = Problem.objective problem in
+  (* Internally we minimize; flip reported values for Maximize. *)
+  let to_internal obj =
+    match sense with Problem.Minimize -> obj | Problem.Maximize -> -.obj
+  in
+  let of_internal = to_internal in
+  let int_vars = Problem.integer_vars problem in
+  let lb0, ub0 = Problem.bounds_arrays problem in
+  let start_time = Unix.gettimeofday () in
+  let deadline = start_time +. options.time_limit in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity (* internal sense *) in
+  let nodes = ref 0 in
+  let open_nodes = Node_heap.create () in
+  (* Try to install a solution as incumbent. *)
+  let offer (sol : Simplex.solution) =
+    let obj = to_internal sol.objective in
+    if obj < !incumbent_obj -. 1e-12 then begin
+      incumbent_obj := obj;
+      incumbent := Some sol
+    end
+  in
+  (* Seed the incumbent from a warm start by fixing integer variables. *)
+  (match warm_start with
+  | None -> ()
+  | Some x0 ->
+      if Array.length x0 <> Problem.n_vars problem then
+        invalid_arg "Branch_bound.solve: warm start has wrong arity";
+      let lb = Array.copy lb0 and ub = Array.copy ub0 in
+      let ok = ref true in
+      let fix v =
+        let r = Float.round x0.(v) in
+        if r < lb.(v) -. 1e-9 || r > ub.(v) +. 1e-9 then ok := false
+        else begin
+          lb.(v) <- r;
+          ub.(v) <- r
+        end
+      in
+      List.iter fix int_vars;
+      if !ok then
+        match Simplex.solve ~lb ~ub problem with
+        | Simplex.Optimal sol -> offer sol
+        | Simplex.Infeasible | Simplex.Unbounded -> ());
+  let best_open_bound () =
+    if Node_heap.is_empty open_nodes then infinity
+    else (Node_heap.min_elt open_nodes).nbound
+  in
+  let finish status bound =
+    let gap = relative_gap ~incumbent:!incumbent_obj ~bound in
+    {
+      status;
+      best = Option.map (fun (s : Simplex.solution) -> s) !incumbent;
+      bound = of_internal bound;
+      nodes = !nodes;
+      gap;
+    }
+  in
+  (* Solve the root. *)
+  match Simplex.solve ~lb:lb0 ~ub:ub0 problem with
+  | Simplex.Infeasible ->
+      if !incumbent = None then finish Infeasible infinity
+      else finish Optimal !incumbent_obj
+  | Simplex.Unbounded -> finish Unbounded neg_infinity
+  | Simplex.Optimal root ->
+      Node_heap.add open_nodes
+        { nlb = lb0; nub = ub0; nbound = to_internal root.objective };
+      let exception Done of outcome in
+      (try
+         while not (Node_heap.is_empty open_nodes) do
+           let node = Node_heap.pop_min open_nodes in
+           (* The popped node has the least bound, so the global lower bound
+              is [min node.nbound incumbent]. *)
+           let global_lb = Float.min node.nbound !incumbent_obj in
+           if relative_gap ~incumbent:!incumbent_obj ~bound:global_lb
+              <= options.rel_gap
+           then raise (Done (finish Optimal global_lb));
+           if !nodes >= options.max_nodes || Unix.gettimeofday () > deadline
+           then begin
+             let bound = Float.min node.nbound (best_open_bound ()) in
+             let status = if !incumbent = None then Unknown else Feasible in
+             raise (Done (finish status bound))
+           end;
+           incr nodes;
+           (* Prune against the incumbent. *)
+           if node.nbound < !incumbent_obj -. 1e-12 then begin
+             match Simplex.solve ~lb:node.nlb ~ub:node.nub problem with
+             | Simplex.Infeasible -> ()
+             | Simplex.Unbounded ->
+                 (* Can only happen at the root, handled above; deeper nodes
+                    inherit the root's bounded feasible region. *)
+                 raise (Done (finish Unbounded neg_infinity))
+             | Simplex.Optimal sol ->
+                 let obj = to_internal sol.objective in
+                 if obj < !incumbent_obj -. 1e-12 then begin
+                   match
+                     find_branch_var ~int_tol:options.int_tol int_vars sol.x
+                   with
+                   | None -> offer sol
+                   | Some v ->
+                       let x = sol.x.(v) in
+                       let down_ub = Float.of_int (int_of_float (floor x)) in
+                       let left_ub = Array.copy node.nub in
+                       left_ub.(v) <- Float.min left_ub.(v) down_ub;
+                       if left_ub.(v) >= node.nlb.(v) -. 1e-9 then
+                         Node_heap.add open_nodes
+                           { nlb = node.nlb; nub = left_ub; nbound = obj };
+                       let right_lb = Array.copy node.nlb in
+                       right_lb.(v) <- Float.max right_lb.(v) (down_ub +. 1.);
+                       if right_lb.(v) <= node.nub.(v) +. 1e-9 then
+                         Node_heap.add open_nodes
+                           { nlb = right_lb; nub = node.nub; nbound = obj }
+                 end
+           end
+         done;
+         (* Tree exhausted: the incumbent (if any) is optimal. *)
+         if !incumbent = None then finish Infeasible infinity
+         else finish Optimal !incumbent_obj
+       with Done outcome -> outcome)

@@ -1,0 +1,41 @@
+(** Mixed-integer solver: LP-based branch and bound.
+
+    Works on any {!Problem.t}; [Integer] variables are branched on, the
+    continuous relaxation being solved by {!Simplex}. Nodes are explored
+    best-bound-first. The solver mirrors the paper's use of CPLEX (§6): it
+    can stop as soon as the incumbent is proven within a relative gap of
+    the optimum (the paper used 5 %), and it accepts a warm-start
+    assignment (e.g. from a heuristic) as the initial incumbent. *)
+
+type options = {
+  rel_gap : float;  (** Stop at this relative optimality gap (0 = exact). *)
+  max_nodes : int;  (** Node budget. *)
+  time_limit : float;  (** Wall-clock budget in seconds. *)
+  int_tol : float;  (** Integrality tolerance. *)
+}
+
+val default_options : options
+(** [rel_gap = 0.], [max_nodes = 200_000], [time_limit = 300.],
+    [int_tol = 1e-6]. *)
+
+type status =
+  | Optimal  (** Incumbent proven optimal (or within [rel_gap]). *)
+  | Feasible  (** Budget exhausted with an incumbent; [bound] still valid. *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** Budget exhausted before any incumbent was found. *)
+
+type outcome = {
+  status : status;
+  best : Simplex.solution option;  (** Incumbent, original objective sense. *)
+  bound : float;
+      (** Proven bound on the optimum (lower bound when minimizing, upper
+          bound when maximizing). *)
+  nodes : int;  (** Nodes expanded. *)
+  gap : float;  (** Achieved relative gap; [infinity] without incumbent. *)
+}
+
+val solve : ?options:options -> ?warm_start:float array -> Problem.t -> outcome
+(** [warm_start] is a full assignment whose integer components seed the
+    incumbent: integer variables are fixed to their rounded values and the
+    continuous rest re-optimized; it is ignored if that LP is infeasible. *)

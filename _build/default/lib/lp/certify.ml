@@ -1,0 +1,97 @@
+module Q = Rational.Rat
+
+type report = {
+  max_violation : Q.t;
+  worst : string option;
+  objective : Q.t;
+  integral : bool;
+}
+
+(* Exact value of an expression under the assignment. *)
+let eval_exact expr x =
+  List.fold_left
+    (fun acc (v, c) -> Q.add acc (Q.mul (Q.of_float c) (Q.of_float x.(v))))
+    Q.zero (Expr.to_list expr)
+
+let nearest_integer q =
+  (* round(q) as an exact rational: floor(q + 1/2). *)
+  let half = Q.of_ints 1 2 in
+  let shifted = Q.add q half in
+  let fl =
+    let n = Q.num shifted and d = Q.den shifted in
+    fst (Rational.Bigint.divmod n d)
+  in
+  Q.make fl Rational.Bigint.one
+
+let analyze problem x =
+  if Array.length x <> Problem.n_vars problem then
+    invalid_arg "Certify.analyze: assignment has wrong arity";
+  let worst_violation = ref Q.zero in
+  let worst_name = ref None in
+  let consider name v =
+    if Q.compare v !worst_violation > 0 then begin
+      worst_violation := v;
+      worst_name := Some name
+    end
+  in
+  for v = 0 to Problem.n_vars problem - 1 do
+    let xv = Q.of_float x.(v) in
+    let lb = Problem.lower_bound problem v in
+    let ub = Problem.upper_bound problem v in
+    if lb > neg_infinity then
+      consider (Problem.var_name problem v) (Q.sub (Q.of_float lb) xv);
+    if ub < infinity then
+      consider (Problem.var_name problem v) (Q.sub xv (Q.of_float ub))
+  done;
+  Array.iter
+    (fun { Problem.cname; expr; rel; rhs } ->
+      let lhs = eval_exact expr x in
+      let rhs = Q.of_float rhs in
+      match rel with
+      | Problem.Le -> consider cname (Q.sub lhs rhs)
+      | Problem.Ge -> consider cname (Q.sub rhs lhs)
+      | Problem.Eq -> consider cname (Q.abs (Q.sub lhs rhs)))
+    (Problem.constraints problem);
+  let _, obj = Problem.objective problem in
+  let integral =
+    List.for_all
+      (fun v ->
+        let xv = Q.of_float x.(v) in
+        Q.equal xv (nearest_integer xv))
+      (Problem.integer_vars problem)
+  in
+  {
+    max_violation = !worst_violation;
+    worst = !worst_name;
+    objective = eval_exact obj x;
+    integral;
+  }
+
+let default_tol = Q.of_ints 1 1_000_000
+
+let check ?(tol = default_tol) problem x =
+  let report = analyze problem x in
+  if Q.compare report.max_violation tol > 0 then
+    Error
+      (Printf.sprintf "violation %s > tolerance %s%s"
+         (Q.to_string report.max_violation)
+         (Q.to_string tol)
+         (match report.worst with
+         | Some name -> " at " ^ name
+         | None -> ""))
+  else begin
+    let bad_integer =
+      List.find_opt
+        (fun v ->
+          let xv = Q.of_float x.(v) in
+          Q.compare (Q.abs (Q.sub xv (nearest_integer xv))) tol > 0)
+        (Problem.integer_vars problem)
+    in
+    match bad_integer with
+    | Some v ->
+        Error
+          (Printf.sprintf "variable %s = %g not integral within tolerance"
+             (Problem.var_name problem v)
+             x.(v))
+    | None -> Ok ()
+  end

@@ -1,0 +1,28 @@
+(** Exact certification of floating-point solver output.
+
+    The simplex and branch & bound work in floating point; this module
+    re-checks their answers in {e exact rational arithmetic}
+    ({!Rational.Rat}), exploiting the fact that every float is a dyadic
+    rational. Given the exact data of a {!Problem} (its float coefficients
+    taken at face value) and a solution vector, it computes the exact
+    worst violation over all bounds and constraints and the exact
+    objective — so a user can certify "this solution is feasible within
+    exactly 10^-6" without trusting any floating-point summation. *)
+
+type report = {
+  max_violation : Rational.Rat.t;
+      (** Exact worst violation over bounds and constraints (0 when truly
+          feasible); each row's violation is measured in its own units. *)
+  worst : string option;  (** Name of the worst row/variable, if any. *)
+  objective : Rational.Rat.t;  (** Exact objective value. *)
+  integral : bool;
+      (** Whether every [Integer] variable holds an exactly integral
+          value. *)
+}
+
+val analyze : Problem.t -> float array -> report
+(** @raise Invalid_argument on an assignment of the wrong arity. *)
+
+val check : ?tol:Rational.Rat.t -> Problem.t -> float array -> (unit, string) result
+(** [Ok] when the exact worst violation is at most [tol] (default
+    [1/10^6]) {e and} integer variables are within [tol] of integers. *)

@@ -1,0 +1,41 @@
+(** Linear expressions over integer-indexed variables.
+
+    An expression is a normalized sparse list of [(variable, coefficient)]
+    terms: variables are strictly increasing and coefficients non-zero.
+    Expressions are immutable; all operations return fresh values. *)
+
+type t
+
+val zero : t
+
+val term : ?coeff:float -> int -> t
+(** [term ~coeff v] is [coeff * x_v] (default coefficient 1). *)
+
+val of_list : (int * float) list -> t
+(** Normalize an arbitrary term list (duplicates summed, zeros dropped). *)
+
+val to_list : t -> (int * float) list
+(** Terms with increasing variable index and non-zero coefficients. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val sum : t list -> t
+(** Sum of many expressions (linear-time merge). *)
+
+val coeff : t -> int -> float
+(** Coefficient of a variable (0 if absent). *)
+
+val is_zero : t -> bool
+val n_terms : t -> int
+
+val eval : (int -> float) -> t -> float
+(** Evaluate under a variable assignment. *)
+
+val max_var : t -> int
+(** Largest variable index used, -1 for {!zero}. *)
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** Pretty-print with a variable printer. *)

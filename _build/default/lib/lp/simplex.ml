@@ -1,0 +1,433 @@
+type solution = { x : float array; objective : float; iterations : int }
+type result = Optimal of solution | Infeasible | Unbounded
+type stats = { mutable solves : int; mutable total_iterations : int }
+
+let stats = { solves = 0; total_iterations = 0 }
+
+(* Tolerances. *)
+let dual_tol = 1e-7  (* reduced-cost optimality threshold *)
+let pivot_tol = 1e-9  (* smallest usable pivot magnitude *)
+let feas_tol = 1e-7  (* phase-1 residual infeasibility threshold *)
+
+type status = At_lower | At_upper | Basic | Free_nb
+
+(* Computational form: min c.x, A x = b (slack per row), l <= x <= u.
+   Columns are sparse; the basis inverse is dense. *)
+type tableau = {
+  m : int;  (* rows *)
+  ntot : int;  (* structural + slack + artificial columns *)
+  n_struct : int;
+  col_idx : int array array;  (* row indices per column *)
+  col_val : float array array;
+  b : float array;
+  c : float array;  (* current-phase cost *)
+  lb : float array;
+  ub : float array;
+  x : float array;  (* current value of every variable *)
+  status : status array;
+  basis : int array;  (* row -> basic variable *)
+  binv : float array;  (* dense basis inverse, m x m, row-major *)
+  y : float array;  (* scratch: simplex multipliers *)
+  w : float array;  (* scratch: FTRAN result *)
+}
+
+let build problem ~lb_over ~ub_over =
+  let n = Problem.n_vars problem in
+  let constrs = Problem.constraints problem in
+  let m = Array.length constrs in
+  let plb, pub = Problem.bounds_arrays problem in
+  let lb_s = match lb_over with Some a -> a | None -> plb in
+  let ub_s = match ub_over with Some a -> a | None -> pub in
+  if Array.length lb_s <> n || Array.length ub_s <> n then
+    invalid_arg "Simplex.solve: override bounds have wrong length";
+  Array.iteri
+    (fun v l -> if l > ub_s.(v) then invalid_arg "Simplex.solve: lb > ub")
+    lb_s;
+  (* Columns: structural 0..n-1, slack n..n+m-1, artificials appended. *)
+  let max_cols = n + (2 * m) in
+  let col_idx = Array.make max_cols [||] in
+  let col_val = Array.make max_cols [||] in
+  let rows_of_var = Array.make n [] in
+  let b = Array.make m 0. in
+  (* Row equilibration: divide every row by its largest coefficient so that
+     rows mixing unit-scale and bandwidth-scale terms keep meaningful
+     tolerances. Pure row scaling leaves the solution unchanged. *)
+  let row_scale = Array.make m 1. in
+  Array.iteri
+    (fun i { Problem.expr; _ } ->
+      let biggest =
+        List.fold_left
+          (fun acc (_, coef) -> Float.max acc (abs_float coef))
+          0. (Expr.to_list expr)
+      in
+      if biggest > 0. then row_scale.(i) <- biggest)
+    constrs;
+  Array.iteri
+    (fun i { Problem.expr; rhs; _ } ->
+      b.(i) <- rhs /. row_scale.(i);
+      List.iter
+        (fun (v, coef) ->
+          rows_of_var.(v) <- (i, coef /. row_scale.(i)) :: rows_of_var.(v))
+        (Expr.to_list expr))
+    constrs;
+  for v = 0 to n - 1 do
+    let entries = List.rev rows_of_var.(v) in
+    col_idx.(v) <- Array.of_list (List.map fst entries);
+    col_val.(v) <- Array.of_list (List.map snd entries)
+  done;
+  let lb = Array.make max_cols 0. and ub = Array.make max_cols infinity in
+  Array.blit lb_s 0 lb 0 n;
+  Array.blit ub_s 0 ub 0 n;
+  (* One slack per row; its bounds encode the relation. *)
+  for i = 0 to m - 1 do
+    let s = n + i in
+    col_idx.(s) <- [| i |];
+    col_val.(s) <- [| 1. |];
+    (match constrs.(i).Problem.rel with
+    | Problem.Le ->
+        lb.(s) <- 0.;
+        ub.(s) <- infinity
+    | Problem.Ge ->
+        lb.(s) <- neg_infinity;
+        ub.(s) <- 0.
+    | Problem.Eq ->
+        lb.(s) <- 0.;
+        ub.(s) <- 0.)
+  done;
+  (m, n, col_idx, col_val, b, lb, ub, constrs)
+
+(* Set every non-slack, non-artificial variable to its initial nonbasic
+   value: the finite bound nearest zero, or 0 for free variables. *)
+let initial_nonbasic_value lb ub =
+  if lb = neg_infinity && ub = infinity then (0., Free_nb)
+  else if lb = neg_infinity then (ub, At_upper)
+  else if ub = infinity then (lb, At_lower)
+  else if abs_float lb <= abs_float ub then (lb, At_lower)
+  else (ub, At_upper)
+
+(* Residual of row i given nonbasic values: b_i - sum_j a_ij x_j over
+   structural columns. *)
+let residuals m n col_idx col_val b x =
+  let r = Array.copy b in
+  for v = 0 to n - 1 do
+    if x.(v) <> 0. then begin
+      let idx = col_idx.(v) and vl = col_val.(v) in
+      for k = 0 to Array.length idx - 1 do
+        r.(idx.(k)) <- r.(idx.(k)) -. (vl.(k) *. x.(v))
+      done
+    end
+  done;
+  ignore m;
+  r
+
+exception Unbounded_exn
+exception Iteration_limit
+
+(* Recompute basic values from scratch: x_B = B^-1 (b - N x_N). *)
+let refresh_basics tab =
+  let m = tab.m in
+  let r = Array.copy tab.b in
+  for v = 0 to tab.ntot - 1 do
+    if tab.status.(v) <> Basic && tab.x.(v) <> 0. then begin
+      let idx = tab.col_idx.(v) and vl = tab.col_val.(v) in
+      for k = 0 to Array.length idx - 1 do
+        r.(idx.(k)) <- r.(idx.(k)) -. (vl.(k) *. tab.x.(v))
+      done
+    end
+  done;
+  for i = 0 to m - 1 do
+    let acc = ref 0. in
+    let base = i * m in
+    for j = 0 to m - 1 do
+      acc := !acc +. (tab.binv.(base + j) *. r.(j))
+    done;
+    tab.x.(tab.basis.(i)) <- !acc
+  done
+
+(* One simplex phase: optimize tab.c from the current basis. *)
+let optimize tab ~max_iters =
+  let m = tab.m and ntot = tab.ntot in
+  let iters = ref 0 in
+  let degenerate_run = ref 0 in
+  let use_bland () = !degenerate_run > 200 + m in
+  let continue_ = ref true in
+  while !continue_ do
+    if !iters >= max_iters then raise Iteration_limit;
+    incr iters;
+    if !iters land 1023 = 0 then refresh_basics tab;
+    (* BTRAN: y = c_B B^-1. *)
+    let y = tab.y in
+    Array.fill y 0 m 0.;
+    for i = 0 to m - 1 do
+      let cb = tab.c.(tab.basis.(i)) in
+      if cb <> 0. then begin
+        let base = i * m in
+        for j = 0 to m - 1 do
+          y.(j) <- y.(j) +. (cb *. tab.binv.(base + j))
+        done
+      end
+    done;
+    (* Pricing: find entering column. *)
+    let best = ref (-1) and best_score = ref dual_tol and best_dir = ref 1. in
+    let bland = use_bland () in
+    (try
+       for q = 0 to ntot - 1 do
+         match tab.status.(q) with
+         | Basic -> ()
+         | st ->
+             let idx = tab.col_idx.(q) and vl = tab.col_val.(q) in
+             let d = ref tab.c.(q) in
+             for k = 0 to Array.length idx - 1 do
+               d := !d -. (y.(idx.(k)) *. vl.(k))
+             done;
+             let improving, dir =
+               match st with
+               | At_lower -> (!d < -.dual_tol, 1.)
+               | At_upper -> (!d > dual_tol, -1.)
+               | Free_nb ->
+                   if !d < -.dual_tol then (true, 1.)
+                   else if !d > dual_tol then (true, -1.)
+                   else (false, 1.)
+               | Basic -> (false, 1.)
+             in
+             if improving then
+               if bland then begin
+                 best := q;
+                 best_dir := dir;
+                 raise Exit
+               end
+               else if abs_float !d > !best_score then begin
+                 best := q;
+                 best_score := abs_float !d;
+                 best_dir := dir
+               end
+       done
+     with Exit -> ());
+    if !best < 0 then continue_ := false
+    else begin
+      let q = !best and dir = !best_dir in
+      (* FTRAN: w = B^-1 A_q. *)
+      let w = tab.w in
+      Array.fill w 0 m 0.;
+      let idx = tab.col_idx.(q) and vl = tab.col_val.(q) in
+      for k = 0 to Array.length idx - 1 do
+        let col = idx.(k) and v = vl.(k) in
+        for i = 0 to m - 1 do
+          w.(i) <- w.(i) +. (tab.binv.((i * m) + col) *. v)
+        done
+      done;
+      (* Ratio test: entering moves by t >= 0 in direction [dir]; basic i
+         moves by delta_i * t with delta_i = -dir * w_i. *)
+      let t_bound =
+        if tab.lb.(q) > neg_infinity && tab.ub.(q) < infinity then
+          tab.ub.(q) -. tab.lb.(q)
+        else infinity
+      in
+      let t_min = ref t_bound and leave = ref (-1) and leave_to_upper = ref false in
+      for i = 0 to m - 1 do
+        let delta = -.dir *. w.(i) in
+        if abs_float delta > pivot_tol then begin
+          let bi = tab.basis.(i) in
+          let xi = tab.x.(bi) in
+          let t =
+            if delta > 0. then
+              if tab.ub.(bi) < infinity then (tab.ub.(bi) -. xi) /. delta
+              else infinity
+            else if tab.lb.(bi) > neg_infinity then (tab.lb.(bi) -. xi) /. delta
+            else infinity
+          in
+          let t = Float.max 0. t in
+          (* Prefer strictly smaller ratios; among (near-)ties keep the
+             larger pivot for stability. *)
+          if
+            t < !t_min -. 1e-12
+            || (t <= !t_min +. 1e-12
+               && !leave >= 0
+               && abs_float delta
+                  > abs_float (-.dir *. w.(!leave)))
+          then begin
+            t_min := t;
+            leave := i;
+            leave_to_upper := delta > 0.
+          end
+        end
+      done;
+      if !t_min = infinity then raise Unbounded_exn;
+      let t = !t_min in
+      if t <= 1e-12 then incr degenerate_run else degenerate_run := 0;
+      (* Apply the step to all basic variables. *)
+      for i = 0 to m - 1 do
+        let delta = -.dir *. w.(i) in
+        if delta <> 0. then begin
+          let bi = tab.basis.(i) in
+          tab.x.(bi) <- tab.x.(bi) +. (delta *. t)
+        end
+      done;
+      if !leave < 0 then begin
+        (* Bound flip: entering jumps to its other bound; basis unchanged. *)
+        tab.x.(q) <- (if dir > 0. then tab.ub.(q) else tab.lb.(q));
+        tab.status.(q) <- (if dir > 0. then At_upper else At_lower)
+      end
+      else begin
+        let r = !leave in
+        let lv = tab.basis.(r) in
+        (* Leaving variable settles on the bound it reached. *)
+        if !leave_to_upper then begin
+          tab.x.(lv) <- tab.ub.(lv);
+          tab.status.(lv) <- At_upper
+        end
+        else begin
+          tab.x.(lv) <- tab.lb.(lv);
+          tab.status.(lv) <- At_lower
+        end;
+        tab.x.(q) <- tab.x.(q) +. (dir *. t);
+        tab.status.(q) <- Basic;
+        tab.basis.(r) <- q;
+        (* Rank-1 update of the dense basis inverse. *)
+        let wr = w.(r) in
+        let binv = tab.binv in
+        let rbase = r * m in
+        let inv_wr = 1. /. wr in
+        for j = 0 to m - 1 do
+          binv.(rbase + j) <- binv.(rbase + j) *. inv_wr
+        done;
+        for i = 0 to m - 1 do
+          let wi = w.(i) in
+          if i <> r && wi <> 0. then begin
+            let ibase = i * m in
+            for j = 0 to m - 1 do
+              let p = binv.(rbase + j) in
+              if p <> 0. then binv.(ibase + j) <- binv.(ibase + j) -. (wi *. p)
+            done
+          end
+        done
+      end
+    end
+  done;
+  !iters
+
+let solve ?lb:lb_over ?ub:ub_over problem =
+  let m, n, col_idx, col_val, b, lb, ub, _constrs =
+    build problem ~lb_over ~ub_over
+  in
+  (* Initial point: nonbasic structurals at a bound, slacks basic. *)
+  let max_cols = n + (2 * m) in
+  let x = Array.make max_cols 0. in
+  let status = Array.make max_cols At_lower in
+  for v = 0 to n - 1 do
+    let value, st = initial_nonbasic_value lb.(v) ub.(v) in
+    x.(v) <- value;
+    status.(v) <- st
+  done;
+  let r = residuals m n col_idx col_val b x in
+  let basis = Array.make m 0 in
+  let art_sign = Array.make m 1. in
+  let n_art = ref 0 in
+  (* Row i gets its slack as basic variable when the residual fits the
+     slack bounds; otherwise the slack is pinned to its nearest bound and
+     an artificial column takes the row. *)
+  for i = 0 to m - 1 do
+    let s = n + i in
+    if r.(i) >= lb.(s) -. 1e-12 && r.(i) <= ub.(s) +. 1e-12 then begin
+      basis.(i) <- s;
+      status.(s) <- Basic;
+      x.(s) <- r.(i)
+    end
+    else begin
+      let clamped = if r.(i) > ub.(s) then ub.(s) else lb.(s) in
+      x.(s) <- clamped;
+      status.(s) <- (if clamped = ub.(s) then At_upper else At_lower);
+      let a = n + m + !n_art in
+      incr n_art;
+      let gap = r.(i) -. clamped in
+      let sigma = if gap >= 0. then 1. else -1. in
+      art_sign.(i) <- sigma;
+      col_idx.(a) <- [| i |];
+      col_val.(a) <- [| sigma |];
+      lb.(a) <- 0.;
+      ub.(a) <- infinity;
+      x.(a) <- abs_float gap;
+      status.(a) <- Basic;
+      basis.(i) <- a
+    end
+  done;
+  let ntot = n + m + !n_art in
+  let c = Array.make ntot 0. in
+  let tab =
+    {
+      m;
+      ntot;
+      n_struct = n;
+      col_idx;
+      col_val;
+      b;
+      c;
+      lb = Array.sub lb 0 ntot;
+      ub = Array.sub ub 0 ntot;
+      x = Array.sub x 0 ntot;
+      status = Array.sub status 0 ntot;
+      basis;
+      (* B starts as a signed identity: slack rows carry +1, rows held by a
+         negatively-signed artificial carry -1, so B^-1 = B. *)
+      binv =
+        (let a = Array.make (max 1 (m * m)) 0. in
+         for i = 0 to m - 1 do
+           a.((i * m) + i) <- art_sign.(i)
+         done;
+         a);
+      y = Array.make m 0.;
+      w = Array.make m 0.;
+    }
+  in
+  stats.solves <- stats.solves + 1;
+  let max_iters = max 20_000 (4 * (m + n)) in
+  let run_phase () = optimize tab ~max_iters in
+  try
+    (* Phase 1: drive artificial variables to zero. *)
+    let iters1 =
+      if !n_art = 0 then 0
+      else begin
+        for a = n + m to ntot - 1 do
+          tab.c.(a) <- 1.
+        done;
+        let it = run_phase () in
+        refresh_basics tab;
+        let infeas = ref 0. in
+        for a = n + m to ntot - 1 do
+          infeas := !infeas +. tab.x.(a)
+        done;
+        if !infeas > feas_tol then raise Exit;
+        (* Freeze artificials at zero for phase 2. *)
+        for a = n + m to ntot - 1 do
+          tab.c.(a) <- 0.;
+          tab.lb.(a) <- 0.;
+          tab.ub.(a) <- 0.;
+          if tab.status.(a) <> Basic then begin
+            tab.x.(a) <- 0.;
+            tab.status.(a) <- At_lower
+          end
+        done;
+        it
+      end
+    in
+    (* Phase 2: the real objective (internally always minimized). *)
+    let sense, obj = Problem.objective problem in
+    let sign = match sense with Problem.Minimize -> 1. | Problem.Maximize -> -1. in
+    Array.fill tab.c 0 ntot 0.;
+    List.iter (fun (v, coef) -> tab.c.(v) <- sign *. coef) (Expr.to_list obj);
+    for a = n + m to ntot - 1 do
+      tab.c.(a) <- 0.
+    done;
+    let iters2 = run_phase () in
+    refresh_basics tab;
+    let xsol = Array.sub tab.x 0 n in
+    let objective = Problem.eval_objective problem xsol in
+    let iterations = iters1 + iters2 in
+    stats.total_iterations <- stats.total_iterations + iterations;
+    Optimal { x = xsol; objective; iterations }
+  with
+  | Exit -> Infeasible
+  | Unbounded_exn -> Unbounded
+  | Iteration_limit ->
+      (* Extremely defensive: treat as numerical failure. *)
+      failwith "Simplex.solve: iteration limit exceeded"

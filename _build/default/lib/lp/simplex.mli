@@ -1,0 +1,31 @@
+(** Linear-programming solver: revised simplex with bounded variables.
+
+    Integrality of [Integer] variables is ignored (LP relaxation); use
+    {!Branch_bound} for mixed-integer problems. The implementation is a
+    two-phase bounded-variable revised simplex maintaining a dense basis
+    inverse with rank-1 updates, Dantzig pricing with a Bland's-rule
+    fallback against cycling, and periodic recomputation of the basic
+    values for numerical hygiene. *)
+
+type solution = {
+  x : float array;  (** One value per problem variable. *)
+  objective : float;  (** Objective in the problem's original sense. *)
+  iterations : int;
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+type stats = { mutable solves : int; mutable total_iterations : int }
+
+val stats : stats
+(** Global counters (for benchmarks/diagnostics). *)
+
+val solve : ?lb:float array -> ?ub:float array -> Problem.t -> result
+(** Solve the LP relaxation. [lb]/[ub], when given, override the problem's
+    variable bounds (arrays of length [Problem.n_vars]); this is how
+    {!Branch_bound} explores its tree without mutating the problem.
+    @raise Invalid_argument on override arrays of the wrong length or with
+    [lb > ub] entries. *)

@@ -1,0 +1,1 @@
+lib/rational/bigint.ml: Array Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/rational/rat.ml: Bigint Float Format Int64

@@ -1,0 +1,1 @@
+lib/rational/rat.mli: Bigint Format

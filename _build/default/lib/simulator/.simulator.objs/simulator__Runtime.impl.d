@@ -1,0 +1,1 @@
+lib/simulator/runtime.ml: Array Cell Cellsched Engine Float Format List Printf Streaming Trace

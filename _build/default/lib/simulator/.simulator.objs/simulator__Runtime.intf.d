@@ -1,0 +1,1 @@
+lib/simulator/runtime.mli: Cell Cellsched Streaming Trace

@@ -1,0 +1,50 @@
+(** Execution traces of simulated runs.
+
+    Pass a fresh trace to {!Runtime.run} via [?trace] to record every
+    computation slot and every remote transfer with exact start/finish
+    times, then inspect utilization or render Gantt charts (text or SVG) —
+    the observability layer one would use on real hardware with a
+    profiler. *)
+
+type span = {
+  pe : int;  (** Executing PE (for transfers: the destination PE). *)
+  label : string;  (** ["task[i]"] or ["D(src,dst)[i]"]. *)
+  kind : [ `Compute | `Transfer ];
+  start : float;
+  finish : float;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> span -> unit
+(** Used by the runtime; spans may arrive out of order. *)
+
+val spans : t -> span list
+(** All recorded spans sorted by start time. *)
+
+val length : t -> int
+
+val busy_fraction : t -> n_pes:int -> horizon:float -> float array
+(** Fraction of [0, horizon] each PE spends computing. *)
+
+val gantt :
+  ?width:int ->
+  ?from_time:float ->
+  ?to_time:float ->
+  Cell.Platform.t ->
+  t ->
+  string
+(** ASCII Gantt chart: one row per PE, ['#'] for compute, ['-'] for
+    transfer activity, ['.'] for idle. [width] defaults to 80 columns. *)
+
+val to_svg :
+  ?width:int ->
+  ?row_height:int ->
+  ?from_time:float ->
+  ?to_time:float ->
+  Cell.Platform.t ->
+  t ->
+  string
+(** Standalone SVG rendering of the same chart, one lane per PE. *)

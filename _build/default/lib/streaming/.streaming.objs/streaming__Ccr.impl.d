@@ -1,0 +1,1 @@
+lib/streaming/ccr.ml: Cell Graph Task

@@ -1,0 +1,1 @@
+lib/streaming/ccr.mli: Graph

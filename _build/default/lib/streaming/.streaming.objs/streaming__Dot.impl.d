@@ -1,0 +1,1 @@
+lib/streaming/dot.ml: Buffer Fun Graph Printf String Task

@@ -1,0 +1,1 @@
+lib/streaming/dot.mli: Graph

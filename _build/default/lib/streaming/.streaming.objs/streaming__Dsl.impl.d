@@ -1,0 +1,1 @@
+lib/streaming/dsl.ml: Graph Hashtbl List Printf Task

@@ -1,0 +1,1 @@
+lib/streaming/graph.ml: Array Cell Format Fun Hashtbl Int List Printf String Support Task

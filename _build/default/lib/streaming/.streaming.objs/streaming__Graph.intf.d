@@ -1,0 +1,1 @@
+lib/streaming/graph.mli: Cell Format Task

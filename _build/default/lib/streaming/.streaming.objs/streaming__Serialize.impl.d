@@ -1,0 +1,1 @@
+lib/streaming/serialize.ml: Buffer Fun Graph Hashtbl In_channel List Printf String Task

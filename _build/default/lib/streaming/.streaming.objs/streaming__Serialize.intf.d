@@ -1,0 +1,1 @@
+lib/streaming/serialize.mli: Graph

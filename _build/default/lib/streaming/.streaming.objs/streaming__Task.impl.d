@@ -1,0 +1,1 @@
+lib/streaming/task.ml: Cell Format Printf

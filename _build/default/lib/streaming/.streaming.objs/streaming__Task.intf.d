@@ -1,0 +1,1 @@
+lib/streaming/task.mli: Cell Format

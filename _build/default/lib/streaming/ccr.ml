@@ -1,0 +1,30 @@
+(* Calibration: at CCR 0.775 a 50-task graph with ~100 edges should carry
+   ~3.5 kB per edge, so that a task's buffers weigh a few tens of kB and an
+   SPE local store holds a handful of tasks (computation-bound regime); the
+   6x higher CCR variants then push single tasks past the local-store
+   budget (communication-bound regime, everything on the PPE), matching the
+   paper's two extremes. bytes/edge = ccr * rate * total_w_spe / n_edges. *)
+let ops_per_second = 9.0e6
+
+let compute ?(ops_rate = ops_per_second) g =
+  let comp = Graph.total_work g Cell.Platform.SPE in
+  if comp <= 0. then 0.
+  else (Graph.total_data_bytes g +. Graph.total_memory_bytes g) /. (comp *. ops_rate)
+
+let scale_to ?(ops_rate = ops_per_second) g ~target =
+  if target < 0. then invalid_arg "Ccr.scale_to: negative target";
+  let current = compute ~ops_rate g in
+  if current <= 0. then
+    invalid_arg "Ccr.scale_to: graph transfers no data, cannot rescale";
+  let factor = target /. current in
+  let g = Graph.map_edges (fun _ e -> e.Graph.data_bytes *. factor) g in
+  let scale_task _ (t : Task.t) =
+    {
+      t with
+      Task.read_bytes = t.Task.read_bytes *. factor;
+      write_bytes = t.Task.write_bytes *. factor;
+    }
+  in
+  Graph.map_tasks scale_task g
+
+let paper_ccrs = [ 0.775; 1.2; 1.9; 2.8; 3.7; 4.6 ]

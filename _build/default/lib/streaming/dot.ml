@@ -1,0 +1,28 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(name = "stream") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box];\n";
+  for k = 0 to Graph.n_tasks g - 1 do
+    let t = Graph.task g k in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  t%d [label=\"%s\\nppe: %.3g spe: %.3g\\npeek: %d\\n%s\"];\n" k
+         (escape t.Task.name) t.Task.w_ppe t.Task.w_spe t.Task.peek
+         (if t.Task.stateful then "stateful" else "stateless"))
+  done;
+  for e = 0 to Graph.n_edges g - 1 do
+    let { Graph.src; dst; data_bytes } = Graph.edge g e in
+    Buffer.add_string buf
+      (Printf.sprintf "  t%d -> t%d [label=\"%.0f B\"];\n" src dst data_bytes)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name g))

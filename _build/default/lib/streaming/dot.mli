@@ -1,0 +1,8 @@
+(** Graphviz export of application graphs, mimicking the node labels of the
+    paper's Figure 5 (name, costs, peek, stateful flag). *)
+
+val to_string : ?name:string -> Graph.t -> string
+(** DOT source for the graph. *)
+
+val to_file : ?name:string -> Graph.t -> string -> unit
+(** Write the DOT source to a file path. *)

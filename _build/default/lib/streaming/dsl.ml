@@ -1,0 +1,48 @@
+type port = { src : int; bytes : float }
+
+type context = { builder : Graph.builder; names : (string, int) Hashtbl.t }
+
+(* A fragment consumes the upstream ports and returns its output ports. *)
+type t = context -> port list -> port list
+
+let unique_name ctx base =
+  match Hashtbl.find_opt ctx.names base with
+  | None ->
+      Hashtbl.replace ctx.names base 1;
+      base
+  | Some n ->
+      Hashtbl.replace ctx.names base (n + 1);
+      Printf.sprintf "%s_%d" base (n + 1)
+
+let filter ?peek ?stateful ?read_bytes ?write_bytes ~name ~w_ppe ~w_spe
+    ~out_bytes () : t =
+ fun ctx inputs ->
+  let task =
+    Task.make ?peek ?stateful ?read_bytes ?write_bytes
+      ~name:(unique_name ctx name) ~w_ppe ~w_spe ()
+  in
+  let id = Graph.add_task ctx.builder task in
+  List.iter
+    (fun { src; bytes } ->
+      Graph.add_edge ctx.builder ~src ~dst:id ~data_bytes:bytes)
+    inputs;
+  [ { src = id; bytes = out_bytes } ]
+
+let pipeline stages : t =
+  if stages = [] then invalid_arg "Dsl.pipeline: empty";
+  fun ctx inputs ->
+    List.fold_left (fun ports stage -> stage ctx ports) inputs stages
+
+let split_join branches : t =
+  if branches = [] then invalid_arg "Dsl.split_join: empty";
+  fun ctx inputs ->
+    List.concat_map (fun branch -> branch ctx inputs) branches
+
+let duplicate n fragment : t =
+  if n < 1 then invalid_arg "Dsl.duplicate: need at least one copy";
+  split_join (List.init n (fun _ -> fragment))
+
+let build fragment =
+  let ctx = { builder = Graph.builder (); names = Hashtbl.create 16 } in
+  let (_ : port list) = fragment ctx [] in
+  Graph.build ctx.builder

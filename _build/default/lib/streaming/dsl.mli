@@ -1,0 +1,60 @@
+(** Combinator DSL for assembling streaming applications, in the spirit of
+    the StreamIt language the paper discusses (§1): applications are built
+    from filters composed into pipelines and split/joins, and compile to a
+    plain {!Graph.t}.
+
+    A fragment has a set of dangling output ports; composition wires every
+    upstream port into the next stage. Filter names are made unique
+    automatically ([name], [name_2], ...), so fragments can be duplicated
+    freely:
+
+    {[
+      let app =
+        Dsl.(
+          build
+            (pipeline
+               [
+                 filter ~name:"framer" ~w_ppe:4e-4 ~w_spe:6e-4
+                   ~out_bytes:4608. ();
+                 duplicate 8
+                   (filter ~name:"fb" ~w_ppe:4e-3 ~w_spe:1.4e-3
+                      ~out_bytes:576. ());
+                 filter ~name:"pack" ~w_ppe:1.1e-3 ~w_spe:2.6e-3
+                   ~out_bytes:0. ();
+               ]))
+    ]} *)
+
+type t
+(** An application fragment. *)
+
+val filter :
+  ?peek:int ->
+  ?stateful:bool ->
+  ?read_bytes:float ->
+  ?write_bytes:float ->
+  name:string ->
+  w_ppe:float ->
+  w_spe:float ->
+  out_bytes:float ->
+  unit ->
+  t
+(** A single task consuming every upstream port and producing [out_bytes]
+    per instance on its output port. *)
+
+val pipeline : t list -> t
+(** Sequential composition; the outputs of each stage feed the next.
+    @raise Invalid_argument on an empty list. *)
+
+val split_join : t list -> t
+(** Parallel composition (duplicate semantics): every branch receives all
+    upstream ports; the fragment's outputs are the concatenation of the
+    branch outputs. Typically followed by a joining {!filter}.
+    @raise Invalid_argument on an empty list. *)
+
+val duplicate : int -> t -> t
+(** [duplicate n fragment] is {!split_join} of [n] copies; names are made
+    unique per copy. @raise Invalid_argument if [n < 1]. *)
+
+val build : t -> Graph.t
+(** Compile a closed application (the fragment's first stage takes no
+    input; remaining dangling outputs are allowed and become sinks). *)

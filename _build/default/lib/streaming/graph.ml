@@ -1,0 +1,177 @@
+type edge = { src : int; dst : int; data_bytes : float }
+
+type t = {
+  tasks : Task.t array;
+  edges : edge array;
+  out_edges : int list array;  (* edge ids leaving each task *)
+  in_edges : int list array;  (* edge ids entering each task *)
+  topo : int array;  (* task ids, topologically sorted *)
+}
+
+type builder = {
+  mutable btasks : Task.t list;  (* reversed *)
+  mutable bn : int;
+  names : (string, int) Hashtbl.t;
+  mutable bedges : edge list;  (* reversed *)
+  seen_edges : (int * int, unit) Hashtbl.t;
+}
+
+let builder () =
+  {
+    btasks = [];
+    bn = 0;
+    names = Hashtbl.create 16;
+    bedges = [];
+    seen_edges = Hashtbl.create 16;
+  }
+
+let add_task b (task : Task.t) =
+  if Hashtbl.mem b.names task.name then
+    invalid_arg (Printf.sprintf "Graph.add_task: duplicate name %S" task.name);
+  let id = b.bn in
+  Hashtbl.add b.names task.name id;
+  b.btasks <- task :: b.btasks;
+  b.bn <- id + 1;
+  id
+
+let add_edge b ~src ~dst ~data_bytes =
+  if src < 0 || src >= b.bn || dst < 0 || dst >= b.bn then
+    invalid_arg "Graph.add_edge: unknown task id";
+  if src = dst then invalid_arg "Graph.add_edge: self-loop";
+  if data_bytes < 0. then invalid_arg "Graph.add_edge: negative data size";
+  if Hashtbl.mem b.seen_edges (src, dst) then
+    invalid_arg "Graph.add_edge: duplicate edge";
+  Hashtbl.add b.seen_edges (src, dst) ();
+  b.bedges <- { src; dst; data_bytes } :: b.bedges
+
+(* Kahn's algorithm; raises if a cycle remains. *)
+let topo_sort n in_edges out_edges (edges : edge array) =
+  let indeg = Array.make n 0 in
+  Array.iteri (fun v es -> indeg.(v) <- List.length es) in_edges;
+  let module H = Support.Binary_heap.Make (Int) in
+  let ready = H.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then H.add ready v
+  done;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (H.is_empty ready) do
+    let v = H.pop_min ready in
+    order.(!filled) <- v;
+    incr filled;
+    let relax e =
+      let w = edges.(e).dst in
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then H.add ready w
+    in
+    List.iter relax out_edges.(v)
+  done;
+  if !filled <> n then invalid_arg "Graph.build: the graph contains a cycle";
+  order
+
+let build b =
+  let tasks = Array.of_list (List.rev b.btasks) in
+  let edges = Array.of_list (List.rev b.bedges) in
+  let n = Array.length tasks in
+  let out_edges = Array.make n [] and in_edges = Array.make n [] in
+  let record e (edge : edge) =
+    out_edges.(edge.src) <- e :: out_edges.(edge.src);
+    in_edges.(edge.dst) <- e :: in_edges.(edge.dst)
+  in
+  Array.iteri record edges;
+  Array.iteri (fun v es -> out_edges.(v) <- List.rev es) out_edges;
+  Array.iteri (fun v es -> in_edges.(v) <- List.rev es) in_edges;
+  let topo = topo_sort n in_edges out_edges edges in
+  { tasks; edges; out_edges; in_edges; topo }
+
+let of_tasks tasks edge_list =
+  let b = builder () in
+  Array.iter (fun t -> ignore (add_task b t)) tasks;
+  List.iter (fun (src, dst, data_bytes) -> add_edge b ~src ~dst ~data_bytes) edge_list;
+  build b
+
+let chain tasks ~data_bytes =
+  let n = Array.length tasks in
+  let edge_list = List.init (max 0 (n - 1)) (fun k -> (k, k + 1, data_bytes)) in
+  of_tasks tasks edge_list
+
+let n_tasks g = Array.length g.tasks
+let n_edges g = Array.length g.edges
+
+let task g k =
+  if k < 0 || k >= n_tasks g then invalid_arg "Graph.task: id out of range";
+  g.tasks.(k)
+
+let edge g e =
+  if e < 0 || e >= n_edges g then invalid_arg "Graph.edge: id out of range";
+  g.edges.(e)
+
+let tasks g = Array.copy g.tasks
+let edges g = Array.copy g.edges
+
+let find_task g name =
+  let rec scan k =
+    if k >= n_tasks g then raise Not_found
+    else if String.equal g.tasks.(k).Task.name name then k
+    else scan (k + 1)
+  in
+  scan 0
+
+let out_edges g k = g.out_edges.(k)
+let in_edges g k = g.in_edges.(k)
+let succs g k = List.map (fun e -> g.edges.(e).dst) g.out_edges.(k)
+let preds g k = List.map (fun e -> g.edges.(e).src) g.in_edges.(k)
+
+let sources g =
+  List.filter (fun k -> g.in_edges.(k) = []) (List.init (n_tasks g) Fun.id)
+
+let sinks g =
+  List.filter (fun k -> g.out_edges.(k) = []) (List.init (n_tasks g) Fun.id)
+
+let topological_order g = Array.copy g.topo
+
+let depth g =
+  if n_tasks g = 0 then 0
+  else begin
+    let level = Array.make (n_tasks g) 1 in
+    let relax k =
+      let bump e =
+        let { src; dst; _ } = g.edges.(e) in
+        if level.(src) + 1 > level.(dst) then level.(dst) <- level.(src) + 1
+      in
+      List.iter bump g.out_edges.(k)
+    in
+    Array.iter relax g.topo;
+    Array.fold_left max 0 level
+  end
+
+let total_work g cls =
+  Array.fold_left (fun acc t -> acc +. Task.w t cls) 0. g.tasks
+
+let total_data_bytes g =
+  Array.fold_left (fun acc e -> acc +. e.data_bytes) 0. g.edges
+
+let total_memory_bytes g =
+  Array.fold_left
+    (fun acc (t : Task.t) -> acc +. t.read_bytes +. t.write_bytes)
+    0. g.tasks
+
+let map_tasks f g =
+  {
+    g with
+    tasks = Array.mapi f g.tasks;
+  }
+
+let map_edges f g =
+  {
+    g with
+    edges = Array.mapi (fun e edge -> { edge with data_bytes = f e edge }) g.edges;
+  }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d tasks, %d edges, depth %d@," (n_tasks g)
+    (n_edges g) (depth g);
+  Format.fprintf ppf "total work: PPE %.4gs, SPE %.4gs; data %.4g B/instance@]"
+    (total_work g Cell.Platform.PPE)
+    (total_work g Cell.Platform.SPE)
+    (total_data_bytes g)

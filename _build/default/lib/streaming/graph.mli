@@ -1,0 +1,96 @@
+(** Streaming application graph (paper §2.2): a directed acyclic graph whose
+    nodes are {!Task.t} and whose edges [D_{k,l}] carry a per-instance data
+    volume in bytes. Task and edge identifiers are dense integers assigned
+    at construction; tasks are kept in insertion order. *)
+
+type edge = {
+  src : int;  (** Producer task id [k]. *)
+  dst : int;  (** Consumer task id [l]. *)
+  data_bytes : float;  (** Size of one instance of [D_{k,l}], in bytes. *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val add_task : builder -> Task.t -> int
+(** Register a task and return its id. Task names must be unique. *)
+
+val add_edge : builder -> src:int -> dst:int -> data_bytes:float -> unit
+(** Register the dependency [D_{src,dst}].
+    @raise Invalid_argument on unknown ids, self-loops, negative sizes or
+    duplicate edges. *)
+
+val build : builder -> t
+(** Freeze the builder.
+    @raise Invalid_argument if the graph contains a directed cycle. *)
+
+val of_tasks : Task.t array -> (int * int * float) list -> t
+(** [of_tasks tasks edges] builds a graph in one call; edges are
+    [(src, dst, data_bytes)] triples. *)
+
+val chain : Task.t array -> data_bytes:float -> t
+(** Linear chain [T0 -> T1 -> ...] with uniform edge size. *)
+
+(** {1 Accessors} *)
+
+val n_tasks : t -> int
+val n_edges : t -> int
+
+val task : t -> int -> Task.t
+(** @raise Invalid_argument on out-of-range ids. *)
+
+val edge : t -> int -> edge
+val tasks : t -> Task.t array
+val edges : t -> edge array
+
+val find_task : t -> string -> int
+(** Task id by name. @raise Not_found if absent. *)
+
+val out_edges : t -> int -> int list
+(** Ids of the edges leaving a task, in insertion order. *)
+
+val in_edges : t -> int -> int list
+(** Ids of the edges entering a task. *)
+
+val succs : t -> int -> int list
+(** Successor task ids. *)
+
+val preds : t -> int -> int list
+(** Predecessor task ids. *)
+
+val sources : t -> int list
+(** Tasks with no predecessor. *)
+
+val sinks : t -> int list
+(** Tasks with no successor. *)
+
+val topological_order : t -> int array
+(** Task ids in a topological order (sources first); stable w.r.t. ids. *)
+
+val depth : t -> int
+(** Number of tasks on a longest directed path (0 for the empty graph). *)
+
+(** {1 Aggregate measures} *)
+
+val total_work : t -> Cell.Platform.pe_class -> float
+(** Sum of per-instance computation times on the given PE class. *)
+
+val total_data_bytes : t -> float
+(** Sum of edge volumes (one instance). *)
+
+val total_memory_bytes : t -> float
+(** Sum of per-instance main-memory reads and writes. *)
+
+val map_tasks : (int -> Task.t -> Task.t) -> t -> t
+(** Rebuild the graph with transformed tasks (same edges). *)
+
+val map_edges : (int -> edge -> float) -> t -> t
+(** Rebuild the graph with rescaled edge volumes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary. *)

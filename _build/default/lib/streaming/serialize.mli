@@ -1,0 +1,19 @@
+(** Plain-text (de)serialization of application graphs.
+
+    The format is line based; blank lines and [#] comments are ignored:
+    {v
+    task <name> wppe=<float> wspe=<float> [peek=<int>] [stateful=<0|1>]
+         [read=<float>] [write=<float>]
+    edge <src-name> <dst-name> data=<float>
+    v}
+    Task lines must precede the edges that mention them. [to_string] and
+    [of_string] round-trip. *)
+
+exception Parse_error of int * string
+(** [(line number, message)]. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+
+val to_file : Graph.t -> string -> unit
+val of_file : string -> Graph.t

@@ -1,0 +1,1 @@
+lib/support/binary_heap.mli:

@@ -1,0 +1,82 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = { mutable data : E.t array; mutable size : int }
+
+  let create ?(capacity = 16) () =
+    ignore capacity;
+    { data = [||]; size = 0 }
+
+  let length h = h.size
+  let is_empty h = h.size = 0
+
+  let grow h x =
+    let n = Array.length h.data in
+    if h.size = n then begin
+      let cap = if n = 0 then 16 else 2 * n in
+      let data = Array.make cap x in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if E.compare h.data.(i) h.data.(parent) < 0 then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && E.compare h.data.(l) h.data.(!smallest) < 0 then
+      smallest := l;
+    if r < h.size && E.compare h.data.(r) h.data.(!smallest) < 0 then
+      smallest := r;
+    if !smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(!smallest);
+      h.data.(!smallest) <- tmp;
+      sift_down h !smallest
+    end
+
+  let add h x =
+    grow h x;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let min_elt h = if h.size = 0 then raise Not_found else h.data.(0)
+
+  let pop_min h =
+    if h.size = 0 then raise Not_found;
+    let root = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    root
+
+  let clear h = h.size <- 0
+
+  let iter f h =
+    for i = 0 to h.size - 1 do
+      f h.data.(i)
+    done
+
+  let to_sorted_list h =
+    let copy = { data = Array.sub h.data 0 h.size; size = h.size } in
+    let rec drain acc =
+      if is_empty copy then List.rev acc else drain (pop_min copy :: acc)
+    in
+    drain []
+end

@@ -1,0 +1,35 @@
+(** Imperative binary min-heap, used as the event queue of the discrete-event
+    simulator and as the open list of branch-and-bound searches. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty heap. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val add : t -> E.t -> unit
+  (** Insert an element; O(log n). *)
+
+  val min_elt : t -> E.t
+  (** Smallest element. @raise Not_found if empty. *)
+
+  val pop_min : t -> E.t
+  (** Remove and return the smallest element. @raise Not_found if empty. *)
+
+  val clear : t -> unit
+
+  val iter : (E.t -> unit) -> t -> unit
+  (** Iterate in unspecified order. *)
+
+  val to_sorted_list : t -> E.t list
+  (** Non-destructive: elements in increasing order. *)
+end

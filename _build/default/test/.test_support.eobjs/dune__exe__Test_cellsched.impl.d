@@ -1,0 +1,1 @@
+test/test_cellsched.ml: Alcotest Array Cell Cellsched Daggen Float Format List Lp Printf QCheck QCheck_alcotest Streaming String Support

@@ -1,0 +1,1 @@
+test/test_daggen.ml: Alcotest Array Daggen Fun List Printf QCheck QCheck_alcotest Streaming String Support

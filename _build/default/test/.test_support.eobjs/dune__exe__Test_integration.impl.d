@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cell Cellsched Daggen Float List Lp QCheck QCheck_alcotest Simulator Streaming Support

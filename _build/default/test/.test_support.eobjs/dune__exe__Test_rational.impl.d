@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Array Float Gen List Lp Printf QCheck QCheck_alcotest Rational Support

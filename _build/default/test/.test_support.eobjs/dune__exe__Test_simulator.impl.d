@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Cell Cellsched Daggen List Printf QCheck QCheck_alcotest Simulator Streaming String Support

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Array Cell Cellsched Daggen Filename Format Fun In_channel List QCheck QCheck_alcotest Streaming String Support Sys

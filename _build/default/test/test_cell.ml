@@ -1,0 +1,91 @@
+(* Tests for the Cell platform model. *)
+
+module P = Cell.Platform
+
+let test_qs22 () =
+  let p = P.qs22 () in
+  Alcotest.(check int) "pes" 9 (P.n_pes p);
+  Alcotest.(check int) "ppes" 1 (List.length (P.ppes p));
+  Alcotest.(check int) "spes" 8 (List.length (P.spes p));
+  Alcotest.(check bool) "pe0 is ppe" true (P.is_ppe p 0);
+  Alcotest.(check bool) "pe1 is spe" true (P.is_spe p 1);
+  Alcotest.(check string) "ppe name" "PPE0" (P.pe_name p 0);
+  Alcotest.(check string) "spe name" "SPE0" (P.pe_name p 1);
+  Alcotest.(check int) "memory budget" ((256 - 64) * 1024) (P.spe_memory_budget p);
+  Alcotest.(check int) "dma in" 16 p.P.max_dma_in;
+  Alcotest.(check int) "dma to ppe" 8 p.P.max_dma_to_ppe
+
+let test_ps3 () =
+  let p = P.ps3 () in
+  Alcotest.(check int) "six spes" 6 (List.length (P.spes p));
+  Alcotest.(check bool) "seven rejected" true
+    (try
+       ignore (P.ps3 ~n_spe:7 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_dual () =
+  let p = P.qs22_dual () in
+  Alcotest.(check int) "two ppes" 2 (List.length (P.ppes p));
+  Alcotest.(check int) "sixteen spes" 16 (List.length (P.spes p));
+  Alcotest.(check (list int)) "spe indices start after ppes" [ 2; 3 ]
+    (List.filteri (fun i _ -> i < 2) (P.spes p));
+  Alcotest.(check int) "two cells" 2 p.P.n_cells;
+  (* Partition: PPE0 and SPE0-7 on cell 0; PPE1 and SPE8-15 on cell 1. *)
+  Alcotest.(check int) "ppe0 cell" 0 (P.cell_of p 0);
+  Alcotest.(check int) "ppe1 cell" 1 (P.cell_of p 1);
+  Alcotest.(check int) "spe0 cell" 0 (P.cell_of p 2);
+  Alcotest.(check int) "spe7 cell" 0 (P.cell_of p 9);
+  Alcotest.(check int) "spe8 cell" 1 (P.cell_of p 10);
+  Alcotest.(check int) "spe15 cell" 1 (P.cell_of p 17);
+  let flat = P.qs22_dual ~flat:true () in
+  Alcotest.(check int) "flat has one cell" 1 flat.P.n_cells;
+  Alcotest.(check bool) "uneven partition rejected" true
+    (try
+       ignore (P.make ~n_ppe:1 ~n_spe:8 ~n_cells:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_validation () =
+  let rejected f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "no ppe" true (rejected (fun () -> P.make ~n_ppe:0 ()));
+  Alcotest.(check bool) "negative spe" true
+    (rejected (fun () -> P.make ~n_spe:(-1) ()));
+  Alcotest.(check bool) "zero bw" true (rejected (fun () -> P.make ~bw:0. ()));
+  Alcotest.(check bool) "code > store" true
+    (rejected (fun () -> P.make ~local_store:1024 ~code_size:2048 ()));
+  Alcotest.(check bool) "bad speedup" true
+    (rejected (fun () -> P.make ~ppe_speedup:0. ()));
+  Alcotest.(check bool) "pe index" true
+    (rejected (fun () -> P.pe_class (P.qs22 ()) 9))
+
+let test_nine_spes_rejected () =
+  Alcotest.(check bool) "nine" true
+    (try
+       ignore (P.qs22 ~n_spe:9 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_zero_spe_platform () =
+  let p = P.qs22 ~n_spe:0 () in
+  Alcotest.(check int) "one pe" 1 (P.n_pes p);
+  Alcotest.(check (list int)) "no spes" [] (P.spes p)
+
+let () =
+  Alcotest.run "cell"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "qs22" `Quick test_qs22;
+          Alcotest.test_case "ps3" `Quick test_ps3;
+          Alcotest.test_case "dual" `Quick test_dual;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "nine spes rejected" `Quick test_nine_spes_rejected;
+          Alcotest.test_case "zero-spe platform" `Quick test_zero_spe_platform;
+        ] );
+    ]

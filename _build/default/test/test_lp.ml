@@ -1,0 +1,538 @@
+(* Tests for the LP/MILP substrate: simplex against hand-checked instances
+   and a brute-force vertex-enumeration oracle; branch & bound against
+   exhaustive grid search. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_opt problem =
+  match Lp.Simplex.solve problem with
+  | Lp.Simplex.Optimal sol -> sol
+  | Lp.Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+(* --- hand-checked simplex instances ------------------------------------ *)
+
+let test_basic_max () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p "x" in
+  let y = Lp.Problem.add_var p "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]) Lp.Problem.Le 4.;
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 3.) ]) Lp.Problem.Le 6.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (x, 3.); (y, 2.) ]);
+  let sol = solve_opt p in
+  check_float "objective" 12. sol.Lp.Simplex.objective;
+  check_float "x" 4. sol.Lp.Simplex.x.(x);
+  check_float "y" 0. sol.Lp.Simplex.x.(y)
+
+let test_basic_min_with_ge () =
+  (* min 2x + 3y st x + y >= 10, x <= 6, y <= 8 -> x=6,y=4, obj 24. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~ub:6. "x" in
+  let y = Lp.Problem.add_var p ~ub:8. "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]) Lp.Problem.Ge 10.;
+  Lp.Problem.set_objective p Lp.Problem.Minimize
+    (Lp.Expr.of_list [ (x, 2.); (y, 3.) ]);
+  let sol = solve_opt p in
+  check_float "objective" 24. sol.Lp.Simplex.objective
+
+let test_equality () =
+  (* min x + y st x + 2y = 6, x - y = 0 -> x = y = 2, obj 4. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p "x" in
+  let y = Lp.Problem.add_var p "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 2.) ]) Lp.Problem.Eq 6.;
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, -1.) ]) Lp.Problem.Eq 0.;
+  Lp.Problem.set_objective p Lp.Problem.Minimize
+    (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]);
+  let sol = solve_opt p in
+  check_float "objective" 4. sol.Lp.Simplex.objective;
+  check_float "x" 2. sol.Lp.Simplex.x.(x)
+
+let test_free_variable () =
+  (* min y st y >= x - 4, y >= -x, x free -> x = 2, y = -2. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lb:neg_infinity "x" in
+  let y = Lp.Problem.add_var p ~lb:neg_infinity "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (y, 1.); (x, -1.) ]) Lp.Problem.Ge (-4.);
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (y, 1.); (x, 1.) ]) Lp.Problem.Ge 0.;
+  Lp.Problem.set_objective p Lp.Problem.Minimize (Lp.Expr.term y);
+  let sol = solve_opt p in
+  check_float "objective" (-2.) sol.Lp.Simplex.objective
+
+let test_infeasible () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~ub:1. "x" in
+  Lp.Problem.add_constr p (Lp.Expr.term x) Lp.Problem.Ge 2.;
+  Lp.Problem.set_objective p Lp.Problem.Minimize (Lp.Expr.term x);
+  match Lp.Simplex.solve p with
+  | Lp.Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p "x" in
+  let y = Lp.Problem.add_var p "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, -1.) ]) Lp.Problem.Le 1.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  match Lp.Simplex.solve p with
+  | Lp.Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_bound_override () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~ub:10. "x" in
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  let lb = [| 0. |] and ub = [| 3.5 |] in
+  (match Lp.Simplex.solve ~lb ~ub p with
+  | Lp.Simplex.Optimal sol -> check_float "override" 3.5 sol.Lp.Simplex.objective
+  | _ -> Alcotest.fail "expected optimal");
+  (* Original problem untouched. *)
+  let sol = solve_opt p in
+  check_float "original" 10. sol.Lp.Simplex.objective
+
+let test_degenerate () =
+  (* Classic degenerate LP; must terminate and find the optimum. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p "x" in
+  let y = Lp.Problem.add_var p "y" in
+  let z = Lp.Problem.add_var p "z" in
+  Lp.Problem.add_constr p
+    (Lp.Expr.of_list [ (x, 0.5); (y, -5.5); (z, -2.5) ])
+    Lp.Problem.Le 0.;
+  Lp.Problem.add_constr p
+    (Lp.Expr.of_list [ (x, 0.5); (y, -1.5); (z, -0.5) ])
+    Lp.Problem.Le 0.;
+  Lp.Problem.add_constr p (Lp.Expr.term x) Lp.Problem.Le 1.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (x, 10.); (y, -57.); (z, -9.) ]);
+  match Lp.Simplex.solve p with
+  | Lp.Simplex.Optimal sol ->
+      Alcotest.(check bool)
+        "objective positive" true
+        (sol.Lp.Simplex.objective > 0.)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- brute-force LP oracle --------------------------------------------- *)
+
+(* Solve a k x k linear system by Gaussian elimination with partial
+   pivoting; returns None for (near-)singular systems. *)
+let gauss_solve a b =
+  let k = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let ok = ref true in
+  for col = 0 to k - 1 do
+    if !ok then begin
+      let pivot = ref col in
+      for row = col + 1 to k - 1 do
+        if abs_float a.(row).(col) > abs_float a.(!pivot).(col) then pivot := row
+      done;
+      if abs_float a.(!pivot).(col) < 1e-9 then ok := false
+      else begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!pivot);
+        b.(!pivot) <- tb;
+        for row = 0 to k - 1 do
+          if row <> col then begin
+            let f = a.(row).(col) /. a.(col).(col) in
+            for c = col to k - 1 do
+              a.(row).(c) <- a.(row).(c) -. (f *. a.(col).(c))
+            done;
+            b.(row) <- b.(row) -. (f *. b.(col))
+          end
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else Some (Array.init k (fun i -> b.(i) /. a.(i).(i)))
+
+(* All size-k subsets of [0..n-1]. *)
+let rec subsets k from n =
+  if k = 0 then [ [] ]
+  else if from >= n then []
+  else
+    List.map (fun s -> from :: s) (subsets (k - 1) (from + 1) n)
+    @ subsets k (from + 1) n
+
+(* Enumerate candidate vertices of {x in box | rows} and return the best
+   objective, or None if no feasible vertex exists. *)
+let brute_force_lp ~n ~rows ~lb ~ub ~obj ~maximize =
+  (* Hyperplanes: each row as equality, each bound as equality. *)
+  let planes =
+    List.concat
+      [
+        List.map (fun (coeffs, rhs) -> (coeffs, rhs)) rows;
+        List.init n (fun v ->
+            (Array.init n (fun i -> if i = v then 1. else 0.), lb.(v)));
+        List.init n (fun v ->
+            (Array.init n (fun i -> if i = v then 1. else 0.), ub.(v)));
+      ]
+  in
+  let planes = Array.of_list planes in
+  let np = Array.length planes in
+  let feasible x =
+    let ok = ref true in
+    List.iter
+      (fun (coeffs, rhs) ->
+        let lhs = ref 0. in
+        Array.iteri (fun i c -> lhs := !lhs +. (c *. x.(i))) coeffs;
+        if !lhs > rhs +. 1e-6 then ok := false)
+      rows;
+    Array.iteri
+      (fun i v -> if v < lb.(i) -. 1e-6 || v > ub.(i) +. 1e-6 then ok := false)
+      x;
+    !ok
+  in
+  let best = ref None in
+  let try_active active =
+    let a = Array.of_list (List.map (fun i -> fst planes.(i)) active) in
+    let b = Array.of_list (List.map (fun i -> snd planes.(i)) active) in
+    match gauss_solve a b with
+    | None -> ()
+    | Some x ->
+        if feasible x then begin
+          let value = ref 0. in
+          Array.iteri (fun i c -> value := !value +. (c *. x.(i))) obj;
+          match !best with
+          | None -> best := Some !value
+          | Some b ->
+              if (maximize && !value > b) || ((not maximize) && !value < b)
+              then best := Some !value
+        end
+  in
+  List.iter try_active (subsets n 0 np);
+  !best
+
+let random_lp_agrees_with_brute_force =
+  QCheck.Test.make ~count:150 ~name:"simplex agrees with vertex enumeration"
+    QCheck.(
+      triple (int_bound 1000) (int_range 1 3) (int_range 0 4))
+    (fun (seed, n, m) ->
+      let rng = Support.Rng.create (seed + (n * 7919) + (m * 104729)) in
+      let lb = Array.init n (fun _ -> Support.Rng.float_in rng (-5.) 0.) in
+      let ub = Array.init n (fun _ -> Support.Rng.float_in rng 0.5 6.) in
+      let rows =
+        List.init m (fun _ ->
+            let coeffs =
+              Array.init n (fun _ -> Support.Rng.float_in rng (-3.) 3.)
+            in
+            let rhs = Support.Rng.float_in rng (-4.) 8. in
+            (coeffs, rhs))
+      in
+      let obj = Array.init n (fun _ -> Support.Rng.float_in rng (-2.) 2.) in
+      let maximize = Support.Rng.bool rng in
+      let p = Lp.Problem.create () in
+      let vars =
+        Array.init n (fun v ->
+            Lp.Problem.add_var p ~lb:lb.(v) ~ub:ub.(v) (Printf.sprintf "x%d" v))
+      in
+      List.iter
+        (fun (coeffs, rhs) ->
+          let expr =
+            Lp.Expr.of_list
+              (List.init n (fun v -> (vars.(v), coeffs.(v))))
+          in
+          Lp.Problem.add_constr p expr Lp.Problem.Le rhs)
+        rows;
+      Lp.Problem.set_objective p
+        (if maximize then Lp.Problem.Maximize else Lp.Problem.Minimize)
+        (Lp.Expr.of_list (List.init n (fun v -> (vars.(v), obj.(v)))));
+      let expected = brute_force_lp ~n ~rows ~lb ~ub ~obj ~maximize in
+      match (Lp.Simplex.solve p, expected) with
+      | Lp.Simplex.Optimal sol, Some best ->
+          (match Lp.Problem.check_feasible p sol.Lp.Simplex.x with
+          | Ok () -> ()
+          | Error msg -> QCheck.Test.fail_reportf "solution infeasible: %s" msg);
+          if abs_float (sol.Lp.Simplex.objective -. best) > 1e-5 then
+            QCheck.Test.fail_reportf "objective %g, brute force %g"
+              sol.Lp.Simplex.objective best
+          else true
+      | Lp.Simplex.Infeasible, None -> true
+      | Lp.Simplex.Optimal sol, None ->
+          QCheck.Test.fail_reportf "simplex optimal (%g), oracle infeasible"
+            sol.Lp.Simplex.objective
+      | Lp.Simplex.Infeasible, Some best ->
+          QCheck.Test.fail_reportf "simplex infeasible, oracle %g" best
+      | Lp.Simplex.Unbounded, _ ->
+          QCheck.Test.fail_reportf "unexpected unbounded on a box-bounded LP")
+
+(* --- branch & bound ----------------------------------------------------- *)
+
+let test_knapsack () =
+  (* max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> a=1,c=1: 17;
+     b+c = 17+... check: b,c = 20 with weight 6: better! *)
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.binary p "a" in
+  let b = Lp.Problem.binary p "b" in
+  let c = Lp.Problem.binary p "c" in
+  Lp.Problem.add_constr p
+    (Lp.Expr.of_list [ (a, 3.); (b, 4.); (c, 2.) ])
+    Lp.Problem.Le 6.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (a, 10.); (b, 13.); (c, 7.) ]);
+  let out = Lp.Branch_bound.solve p in
+  Alcotest.(check bool) "optimal" true (out.Lp.Branch_bound.status = Lp.Branch_bound.Optimal);
+  match out.Lp.Branch_bound.best with
+  | Some sol -> check_float "objective" 20. sol.Lp.Simplex.objective
+  | None -> Alcotest.fail "no incumbent"
+
+let test_integer_rounding_matters () =
+  (* max x st 2x <= 5, x integer -> 2 (LP gives 2.5). *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~kind:Lp.Problem.Integer ~ub:10. "x" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 2.) ]) Lp.Problem.Le 5.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  let out = Lp.Branch_bound.solve p in
+  match out.Lp.Branch_bound.best with
+  | Some sol -> check_float "objective" 2. sol.Lp.Simplex.objective
+  | None -> Alcotest.fail "no incumbent"
+
+let test_mip_infeasible () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.binary p "x" in
+  let y = Lp.Problem.binary p "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]) Lp.Problem.Ge 3.;
+  Lp.Problem.set_objective p Lp.Problem.Minimize (Lp.Expr.term x);
+  let out = Lp.Branch_bound.solve p in
+  Alcotest.(check bool) "infeasible" true
+    (out.Lp.Branch_bound.status = Lp.Branch_bound.Infeasible)
+
+(* Exhaustive oracle over the integer grid. *)
+let brute_force_mip ~n ~ubounds ~rows ~obj ~maximize =
+  let best = ref None in
+  let x = Array.make n 0 in
+  let rec enumerate v =
+    if v = n then begin
+      let feasible =
+        List.for_all
+          (fun (coeffs, rel, rhs) ->
+            let lhs = ref 0. in
+            Array.iteri
+              (fun i c -> lhs := !lhs +. (c *. float_of_int x.(i)))
+              coeffs;
+            match rel with
+            | Lp.Problem.Le -> !lhs <= rhs +. 1e-9
+            | Lp.Problem.Ge -> !lhs >= rhs -. 1e-9
+            | Lp.Problem.Eq -> abs_float (!lhs -. rhs) <= 1e-9)
+          rows
+      in
+      if feasible then begin
+        let value = ref 0. in
+        Array.iteri (fun i c -> value := !value +. (c *. float_of_int x.(i))) obj;
+        match !best with
+        | None -> best := Some !value
+        | Some b ->
+            if (maximize && !value > b) || ((not maximize) && !value < b) then
+              best := Some !value
+      end
+    end
+    else
+      for value = 0 to ubounds.(v) do
+        x.(v) <- value;
+        enumerate (v + 1)
+      done
+  in
+  enumerate 0;
+  !best
+
+let random_mip_agrees_with_enumeration =
+  QCheck.Test.make ~count:100 ~name:"branch&bound agrees with grid search"
+    QCheck.(pair (int_bound 1000) (int_range 2 4))
+    (fun (seed, n) ->
+      let rng = Support.Rng.create ((seed * 31) + n) in
+      let ubounds = Array.init n (fun _ -> Support.Rng.int_in rng 1 3) in
+      let m = Support.Rng.int_in rng 1 3 in
+      let rows =
+        List.init m (fun _ ->
+            let coeffs =
+              Array.init n (fun _ -> float_of_int (Support.Rng.int_in rng (-3) 4))
+            in
+            let rhs = float_of_int (Support.Rng.int_in rng 0 8) in
+            (coeffs, Lp.Problem.Le, rhs))
+      in
+      let obj =
+        Array.init n (fun _ -> float_of_int (Support.Rng.int_in rng (-5) 5))
+      in
+      let maximize = Support.Rng.bool rng in
+      let p = Lp.Problem.create () in
+      let vars =
+        Array.init n (fun v ->
+            Lp.Problem.add_var p ~kind:Lp.Problem.Integer
+              ~ub:(float_of_int ubounds.(v))
+              (Printf.sprintf "x%d" v))
+      in
+      List.iter
+        (fun (coeffs, rel, rhs) ->
+          let expr =
+            Lp.Expr.of_list (List.init n (fun v -> (vars.(v), coeffs.(v))))
+          in
+          Lp.Problem.add_constr p expr rel rhs)
+        rows;
+      Lp.Problem.set_objective p
+        (if maximize then Lp.Problem.Maximize else Lp.Problem.Minimize)
+        (Lp.Expr.of_list (List.init n (fun v -> (vars.(v), obj.(v)))));
+      let out = Lp.Branch_bound.solve p in
+      let expected = brute_force_mip ~n ~ubounds ~rows ~obj ~maximize in
+      match (out.Lp.Branch_bound.best, expected) with
+      | Some sol, Some best ->
+          if abs_float (sol.Lp.Simplex.objective -. best) > 1e-6 then
+            QCheck.Test.fail_reportf "bb %g, grid %g" sol.Lp.Simplex.objective
+              best
+          else true
+      | None, None -> true
+      | Some sol, None ->
+          QCheck.Test.fail_reportf "bb found %g, grid infeasible"
+            sol.Lp.Simplex.objective
+      | None, Some best -> QCheck.Test.fail_reportf "bb none, grid %g" best)
+
+let test_warm_start_and_gap () =
+  (* Seeding with the optimum and allowing a generous gap must terminate
+     immediately with that incumbent. *)
+  let p = Lp.Problem.create () in
+  let a = Lp.Problem.binary p "a" in
+  let b = Lp.Problem.binary p "b" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (a, 2.); (b, 3.) ]) Lp.Problem.Le 4.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (a, 5.); (b, 6.) ]);
+  let warm = [| 1.; 0. |] in
+  let options = { Lp.Branch_bound.default_options with rel_gap = 0.5 } in
+  let out = Lp.Branch_bound.solve ~options ~warm_start:warm p in
+  (match out.Lp.Branch_bound.best with
+  | Some sol -> Alcotest.(check bool) "at least warm" true (sol.Lp.Simplex.objective >= 5. -. 1e-9)
+  | None -> Alcotest.fail "no incumbent");
+  Alcotest.(check bool) "gap achieved" true (out.Lp.Branch_bound.gap <= 0.5 +. 1e-9)
+
+let test_boxed_flip () =
+  (* Optimum requires a nonbasic variable to flip between its two finite
+     bounds. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lb:1. ~ub:3. "x" in
+  let y = Lp.Problem.add_var p ~lb:1. ~ub:3. "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]) Lp.Problem.Le 5.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (x, 1.); (y, 1.) ]);
+  let sol = solve_opt p in
+  check_float "objective" 5. sol.Lp.Simplex.objective
+
+let test_negative_bounds () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lb:(-5.) ~ub:(-1.) "x" in
+  Lp.Problem.set_objective p Lp.Problem.Minimize (Lp.Expr.term x);
+  let sol = solve_opt p in
+  check_float "objective" (-5.) sol.Lp.Simplex.objective;
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  let sol = solve_opt p in
+  check_float "objective" (-1.) sol.Lp.Simplex.objective
+
+let test_check_feasible_reports () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.binary p "x" in
+  Lp.Problem.add_constr p (Lp.Expr.term x) Lp.Problem.Le 0.5;
+  (match Lp.Problem.check_feasible p [| 1. |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "violation not reported");
+  (match Lp.Problem.check_feasible p [| 0.3 |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-integrality not reported");
+  match Lp.Problem.check_feasible p [| 0. |] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "false violation: %s" msg
+
+let test_node_limit () =
+  (* A 20-item knapsack with a 1-node budget: must return quickly with a
+     valid bound and status Feasible/Unknown, never Optimal by accident. *)
+  let p = Lp.Problem.create () in
+  let rng = Support.Rng.create 77 in
+  let vars = Array.init 20 (fun i -> Lp.Problem.binary p (Printf.sprintf "x%d" i)) in
+  let weights = Array.map (fun _ -> float_of_int (Support.Rng.int_in rng 1 9)) vars in
+  let values = Array.map (fun _ -> float_of_int (Support.Rng.int_in rng 1 9)) vars in
+  Lp.Problem.add_constr p
+    (Lp.Expr.of_list (Array.to_list (Array.mapi (fun i v -> (v, weights.(i))) vars)))
+    Lp.Problem.Le 30.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list (Array.to_list (Array.mapi (fun i v -> (v, values.(i))) vars)));
+  let options = { Lp.Branch_bound.default_options with max_nodes = 1 } in
+  let out = Lp.Branch_bound.solve ~options p in
+  (match out.Lp.Branch_bound.status with
+  | Lp.Branch_bound.Feasible | Lp.Branch_bound.Unknown
+  | Lp.Branch_bound.Optimal (* possible if the root LP is integral *) -> ()
+  | _ -> Alcotest.fail "unexpected status");
+  (match out.Lp.Branch_bound.best with
+  | Some sol ->
+      Alcotest.(check bool) "bound dominates incumbent" true
+        (out.Lp.Branch_bound.bound >= sol.Lp.Simplex.objective -. 1e-9)
+  | None -> ())
+
+let test_warm_start_out_of_bounds_ignored () =
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.binary p "x" in
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  (* Warm start proposing x = 7 is out of bounds: must be ignored, not
+     crash, and the solver still finds the optimum. *)
+  let out = Lp.Branch_bound.solve ~warm_start:[| 7. |] p in
+  match out.Lp.Branch_bound.best with
+  | Some sol -> check_float "objective" 1. sol.Lp.Simplex.objective
+  | None -> Alcotest.fail "no incumbent"
+
+let test_problem_pp () =
+  let p = Lp.Problem.create ~name:"demo" () in
+  let x = Lp.Problem.add_var p "speed" in
+  Lp.Problem.add_constr p ~name:"cap" (Lp.Expr.term x) Lp.Problem.Le 3.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize (Lp.Expr.term x);
+  let rendered = Format.asprintf "%a" Lp.Problem.pp p in
+  let contains needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec scan i = i + n <= h && (String.sub rendered i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions variable" true (contains "speed");
+  Alcotest.(check bool) "mentions constraint" true (contains "cap")
+
+let test_expr_algebra () =
+  let e1 = Lp.Expr.of_list [ (0, 1.); (2, 2.); (0, 3.) ] in
+  Alcotest.(check (float 0.)) "combined" 4. (Lp.Expr.coeff e1 0);
+  let e2 = Lp.Expr.sub e1 (Lp.Expr.term ~coeff:2. 2) in
+  Alcotest.(check (float 0.)) "cancelled" 0. (Lp.Expr.coeff e2 2);
+  Alcotest.(check int) "terms" 1 (Lp.Expr.n_terms e2);
+  let v = Lp.Expr.eval (fun v -> float_of_int v +. 1.) e1 in
+  Alcotest.(check (float 1e-9)) "eval" 10. v
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic max" `Quick test_basic_max;
+          Alcotest.test_case "min with ge" `Quick test_basic_min_with_ge;
+          Alcotest.test_case "equalities" `Quick test_equality;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "bound override" `Quick test_bound_override;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "bound flip" `Quick test_boxed_flip;
+          Alcotest.test_case "negative bounds" `Quick test_negative_bounds;
+          qt random_lp_agrees_with_brute_force;
+        ] );
+      ( "branch-bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "integer rounding" `Quick test_integer_rounding_matters;
+          Alcotest.test_case "infeasible mip" `Quick test_mip_infeasible;
+          Alcotest.test_case "warm start and gap" `Quick test_warm_start_and_gap;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "bad warm start ignored" `Quick test_warm_start_out_of_bounds_ignored;
+          qt random_mip_agrees_with_enumeration;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "check_feasible" `Quick test_check_feasible_reports;
+          Alcotest.test_case "pp" `Quick test_problem_pp;
+        ] );
+      ("expr", [ Alcotest.test_case "algebra" `Quick test_expr_algebra ]);
+    ]

@@ -1,0 +1,339 @@
+(* Tests for the application model: graphs, CCR, serialization, DOT. *)
+
+let mk_task ?(peek = 0) ?(w_ppe = 1e-3) ?(w_spe = 2e-3) name =
+  Streaming.Task.make ~name ~w_ppe ~w_spe ~peek ()
+
+let diamond () =
+  (* a -> b, a -> c, b -> d, c -> d *)
+  let tasks = [| mk_task "a"; mk_task "b"; mk_task "c"; mk_task "d" |] in
+  Streaming.Graph.of_tasks tasks
+    [ (0, 1, 100.); (0, 2, 200.); (1, 3, 300.); (2, 3, 400.) ]
+
+let test_construction () =
+  let g = diamond () in
+  Alcotest.(check int) "tasks" 4 (Streaming.Graph.n_tasks g);
+  Alcotest.(check int) "edges" 4 (Streaming.Graph.n_edges g);
+  Alcotest.(check (list int)) "succs of a" [ 1; 2 ] (Streaming.Graph.succs g 0);
+  Alcotest.(check (list int)) "preds of d" [ 1; 2 ] (Streaming.Graph.preds g 3);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Streaming.Graph.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Streaming.Graph.sinks g);
+  Alcotest.(check int) "depth" 3 (Streaming.Graph.depth g);
+  Alcotest.(check (float 1e-9)) "data" 1000. (Streaming.Graph.total_data_bytes g);
+  Alcotest.(check int) "find" 2 (Streaming.Graph.find_task g "c")
+
+let test_cycle_rejected () =
+  let b = Streaming.Graph.builder () in
+  let a = Streaming.Graph.add_task b (mk_task "a") in
+  let c = Streaming.Graph.add_task b (mk_task "c") in
+  Streaming.Graph.add_edge b ~src:a ~dst:c ~data_bytes:1.;
+  Streaming.Graph.add_edge b ~src:c ~dst:a ~data_bytes:1.;
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Graph.build: the graph contains a cycle") (fun () ->
+      ignore (Streaming.Graph.build b))
+
+let test_duplicate_task_name () =
+  let b = Streaming.Graph.builder () in
+  ignore (Streaming.Graph.add_task b (mk_task "x"));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.add_task: duplicate name \"x\"") (fun () ->
+      ignore (Streaming.Graph.add_task b (mk_task "x")))
+
+let test_bad_edges () =
+  let b = Streaming.Graph.builder () in
+  let a = Streaming.Graph.add_task b (mk_task "a") in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Streaming.Graph.add_edge b ~src:a ~dst:a ~data_bytes:1.);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Graph.add_edge: unknown task id") (fun () ->
+      Streaming.Graph.add_edge b ~src:a ~dst:7 ~data_bytes:1.)
+
+let test_task_validation () =
+  Alcotest.check_raises "negative cost" (Invalid_argument "Task.make: negative cost")
+    (fun () ->
+      ignore (Streaming.Task.make ~name:"t" ~w_ppe:(-1.) ~w_spe:1. ()));
+  Alcotest.check_raises "negative peek" (Invalid_argument "Task.make: negative peek")
+    (fun () ->
+      ignore (Streaming.Task.make ~name:"t" ~w_ppe:1. ~w_spe:1. ~peek:(-1) ()))
+
+let test_topological_order () =
+  let g = diamond () in
+  let order = Streaming.Graph.topological_order g in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i k -> pos.(k) <- i) order;
+  Array.iter
+    (fun { Streaming.Graph.src; dst; _ } ->
+      Alcotest.(check bool) "edge forward" true (pos.(src) < pos.(dst)))
+    (Streaming.Graph.edges g)
+
+let test_chain () =
+  let g = Streaming.Graph.chain (Array.init 5 (fun i -> mk_task (string_of_int i)))
+      ~data_bytes:42. in
+  Alcotest.(check int) "edges" 4 (Streaming.Graph.n_edges g);
+  Alcotest.(check int) "depth" 5 (Streaming.Graph.depth g)
+
+let test_ccr_scale () =
+  let g = diamond () in
+  let g' = Streaming.Ccr.scale_to g ~target:2.0 in
+  Alcotest.(check (float 1e-9)) "target reached" 2.0 (Streaming.Ccr.compute g');
+  (* Work untouched. *)
+  Alcotest.(check (float 1e-12)) "work"
+    (Streaming.Graph.total_work g Cell.Platform.SPE)
+    (Streaming.Graph.total_work g' Cell.Platform.SPE)
+
+let test_ccr_no_data () =
+  let g = Streaming.Graph.chain [| mk_task "a"; mk_task "b" |] ~data_bytes:0. in
+  Alcotest.(check (float 0.)) "zero ccr" 0. (Streaming.Ccr.compute g);
+  Alcotest.(check bool) "cannot rescale" true
+    (try
+       ignore (Streaming.Ccr.scale_to g ~target:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_serialize_roundtrip () =
+  let g = diamond () in
+  let s = Streaming.Serialize.to_string g in
+  let g' = Streaming.Serialize.of_string s in
+  Alcotest.(check int) "tasks" (Streaming.Graph.n_tasks g) (Streaming.Graph.n_tasks g');
+  Alcotest.(check int) "edges" (Streaming.Graph.n_edges g) (Streaming.Graph.n_edges g');
+  Alcotest.(check string) "stable" s (Streaming.Serialize.to_string g')
+
+let test_serialize_errors () =
+  let check_fails src =
+    match Streaming.Serialize.of_string src with
+    | exception Streaming.Serialize.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  check_fails "task";
+  check_fails "task x wppe=1";
+  check_fails "task x wppe=a wspe=1";
+  check_fails "edge a b data=1";
+  check_fails "frob x";
+  check_fails "task x wppe=1 wspe=1 frob=2"
+
+let test_serialize_comments () =
+  let g =
+    Streaming.Serialize.of_string
+      "# header\n\ntask a wppe=1 wspe=2 # trailing\ntask b wppe=1 wspe=2\nedge a b data=5\n"
+  in
+  Alcotest.(check int) "tasks" 2 (Streaming.Graph.n_tasks g);
+  Alcotest.(check (float 0.)) "data" 5.
+    (Streaming.Graph.edge g 0).Streaming.Graph.data_bytes
+
+let test_dot () =
+  let dot = Streaming.Dot.to_string (diamond ()) in
+  Alcotest.(check bool) "has digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let count_arrows s =
+    List.length
+      (List.filter (fun line ->
+           let has sub =
+             let rec find i =
+               i + String.length sub <= String.length line
+               && (String.sub line i (String.length sub) = sub || find (i + 1))
+             in
+             find 0
+           in
+           has "->")
+         (String.split_on_char '\n' s))
+  in
+  Alcotest.(check int) "edges rendered" 4 (count_arrows dot)
+
+(* Property: random daggen graphs round-trip through the text format. *)
+let serialize_roundtrip_random =
+  QCheck.Test.make ~count:50 ~name:"serialize roundtrips random graphs"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let shape =
+        {
+          Daggen.Generator.n = 1 + Support.Rng.int rng 30;
+          fat = 0.2 +. Support.Rng.float rng 1.0;
+          density = Support.Rng.float rng 1.0;
+          regularity = Support.Rng.float rng 1.0;
+          jump = 1 + Support.Rng.int rng 3;
+        }
+      in
+      let g =
+        Daggen.Generator.generate ~rng ~shape
+          ~costs:Daggen.Generator.default_costs
+      in
+      let s = Streaming.Serialize.to_string g in
+      let g' = Streaming.Serialize.of_string s in
+      s = Streaming.Serialize.to_string g')
+
+let map_edges_preserves_structure =
+  QCheck.Test.make ~count:50 ~name:"map_edges keeps topology"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let shape =
+        { Daggen.Generator.n = 1 + Support.Rng.int rng 20; fat = 0.5;
+          density = 0.5; regularity = 0.5; jump = 2 }
+      in
+      let g = Daggen.Generator.generate ~rng ~shape ~costs:Daggen.Generator.default_costs in
+      let g' = Streaming.Graph.map_edges (fun _ e -> 2. *. e.Streaming.Graph.data_bytes) g in
+      Streaming.Graph.n_edges g = Streaming.Graph.n_edges g'
+      && Streaming.Graph.topological_order g = Streaming.Graph.topological_order g'
+      && abs_float (Streaming.Graph.total_data_bytes g' -. (2. *. Streaming.Graph.total_data_bytes g)) < 1e-6)
+
+let test_file_roundtrip () =
+  let g = diamond () in
+  let path = Filename.temp_file "cellstream" ".stream" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Streaming.Serialize.to_file g path;
+      let g' = Streaming.Serialize.of_file path in
+      Alcotest.(check string) "file roundtrip"
+        (Streaming.Serialize.to_string g)
+        (Streaming.Serialize.to_string g'))
+
+let test_dot_file () =
+  let path = Filename.temp_file "cellstream" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Streaming.Dot.to_file (diamond ()) path;
+      let content = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check string) "same as to_string"
+        (Streaming.Dot.to_string (diamond ()))
+        content)
+
+let test_map_tasks () =
+  let g = diamond () in
+  let g' =
+    Streaming.Graph.map_tasks
+      (fun _ t -> { t with Streaming.Task.w_ppe = 2. *. t.Streaming.Task.w_ppe })
+      g
+  in
+  Alcotest.(check (float 1e-12)) "ppe work doubled"
+    (2. *. Streaming.Graph.total_work g Cell.Platform.PPE)
+    (Streaming.Graph.total_work g' Cell.Platform.PPE);
+  Alcotest.(check (float 1e-12)) "spe work untouched"
+    (Streaming.Graph.total_work g Cell.Platform.SPE)
+    (Streaming.Graph.total_work g' Cell.Platform.SPE)
+
+let test_graph_pp () =
+  let rendered = Format.asprintf "%a" Streaming.Graph.pp (diamond ()) in
+  Alcotest.(check bool) "mentions counts" true
+    (String.length rendered > 0
+    && String.split_on_char '4' rendered <> [ rendered ])
+
+(* --- DSL ----------------------------------------------------------------- *)
+
+let dsl_filter ?(out = 128.) name =
+  Streaming.Dsl.filter ~name ~w_ppe:1e-3 ~w_spe:2e-3 ~out_bytes:out ()
+
+let test_dsl_pipeline () =
+  let g =
+    Streaming.Dsl.(build (pipeline [ dsl_filter "a"; dsl_filter "b"; dsl_filter "c" ]))
+  in
+  Alcotest.(check int) "tasks" 3 (Streaming.Graph.n_tasks g);
+  Alcotest.(check int) "edges" 2 (Streaming.Graph.n_edges g);
+  Alcotest.(check int) "depth" 3 (Streaming.Graph.depth g)
+
+let test_dsl_split_join () =
+  let g =
+    Streaming.Dsl.(
+      build
+        (pipeline
+           [
+             dsl_filter "src";
+             duplicate 4 (dsl_filter ~out:64. "work");
+             dsl_filter "join";
+           ]))
+  in
+  (* src + 4 workers + join *)
+  Alcotest.(check int) "tasks" 6 (Streaming.Graph.n_tasks g);
+  (* src->work x4, work->join x4 *)
+  Alcotest.(check int) "edges" 8 (Streaming.Graph.n_edges g);
+  let join = Streaming.Graph.find_task g "join" in
+  Alcotest.(check int) "join fan-in" 4
+    (List.length (Streaming.Graph.preds g join))
+
+let test_dsl_unique_names () =
+  let g =
+    Streaming.Dsl.(build (pipeline [ dsl_filter "x"; dsl_filter "x"; dsl_filter "x" ]))
+  in
+  Alcotest.(check int) "three tasks" 3 (Streaming.Graph.n_tasks g);
+  (* find_task must locate the renamed instances. *)
+  ignore (Streaming.Graph.find_task g "x");
+  ignore (Streaming.Graph.find_task g "x_2");
+  ignore (Streaming.Graph.find_task g "x_3")
+
+let test_dsl_validation () =
+  Alcotest.(check bool) "empty pipeline" true
+    (try
+       ignore (Streaming.Dsl.pipeline []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate 0" true
+    (try
+       ignore (Streaming.Dsl.duplicate 0 (dsl_filter "y"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_dsl_schedulable () =
+  (* A DSL-built app flows through the whole stack. *)
+  let g =
+    Streaming.Dsl.(
+      build
+        (pipeline
+           [
+             dsl_filter ~out:2048. "reader";
+             duplicate 3 (dsl_filter ~out:1024. "stage");
+             dsl_filter ~out:0. "writer";
+           ]))
+  in
+  let platform = Cell.Platform.qs22 ~n_spe:2 () in
+  let r = Cellsched.Milp_solver.solve platform g in
+  Alcotest.(check bool) "feasible" true
+    (Cellsched.Steady_state.feasible platform g r.Cellsched.Milp_solver.mapping)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "streaming"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "duplicate name" `Quick test_duplicate_task_name;
+          Alcotest.test_case "bad edges" `Quick test_bad_edges;
+          Alcotest.test_case "task validation" `Quick test_task_validation;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "chain" `Quick test_chain;
+          qt map_edges_preserves_structure;
+        ] );
+      ( "ccr",
+        [
+          Alcotest.test_case "scale" `Quick test_ccr_scale;
+          Alcotest.test_case "no data" `Quick test_ccr_no_data;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+          Alcotest.test_case "comments" `Quick test_serialize_comments;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          qt serialize_roundtrip_random;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "render" `Quick test_dot;
+          Alcotest.test_case "to_file" `Quick test_dot_file;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "map_tasks" `Quick test_map_tasks;
+          Alcotest.test_case "graph pp" `Quick test_graph_pp;
+        ] );
+      ( "dsl",
+        [
+          Alcotest.test_case "pipeline" `Quick test_dsl_pipeline;
+          Alcotest.test_case "split join" `Quick test_dsl_split_join;
+          Alcotest.test_case "unique names" `Quick test_dsl_unique_names;
+          Alcotest.test_case "validation" `Quick test_dsl_validation;
+          Alcotest.test_case "schedulable end-to-end" `Quick test_dsl_schedulable;
+        ] );
+    ]

@@ -451,3 +451,83 @@ let micro () =
     (List.sort compare rows);
   Support.Table.print table;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E9 - Resilience: SPE fail-stop mid-stream, online recovery.         *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  print_endline "== Resilience: SPE fail-stop mid-stream, online recovery ==";
+  print_endline
+    "   (best heuristic mapping on the QS22; the most-loaded SPE fail-stops\n\
+    \    halfway through the stream; the controller detects the stall from\n\
+    \    windowed completion rates, masks the SPE out, remaps on the\n\
+    \    survivors and resumes. Measured degraded throughput should track\n\
+    \    the steady-state prediction on the reduced platform, ~95% with\n\
+    \    the default framework overhead.)";
+  let module C = Resilience.Controller in
+  let platform = P.qs22 () in
+  let table =
+    Support.Table.create
+      [
+        "graph";
+        "victim";
+        "detect (ms)";
+        "recover (ms)";
+        "moved";
+        "lost";
+        "degraded pred/s";
+        "measured/s";
+        "ratio";
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let mapping =
+        match
+          H.best_feasible platform g
+            (H.standard_candidates ~with_lp:true platform g)
+        with
+        | Some (_, m) -> m
+        | None -> H.ppe_only platform g
+      in
+      let victim =
+        List.fold_left
+          (fun best pe ->
+            let load pe =
+              List.length (Cellsched.Mapping.tasks_on mapping pe)
+            in
+            match best with
+            | Some b when load b >= load pe -> best
+            | _ when load pe > 0 -> Some pe
+            | _ -> best)
+          None (P.spes platform)
+      in
+      match victim with
+      | None ->
+          Support.Table.add_row table
+            [ name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+      | Some victim ->
+          let n = instances 4000 in
+          let period = SS.period platform (SS.loads platform g mapping) in
+          let at = float_of_int n *. period /. 2. in
+          let report =
+            C.run ~faults:[ Fault.fail_stop ~pe:victim ~at ] platform g
+              mapping ~instances:n
+          in
+          let i = List.hd report.C.incidents in
+          Support.Table.add_row table
+            [
+              name;
+              P.pe_name platform victim;
+              Printf.sprintf "%.1f" ((i.C.detection_time -. i.C.stall_time) *. 1e3);
+              Printf.sprintf "%.1f" ((i.C.recovery_time -. i.C.stall_time) *. 1e3);
+              string_of_int i.C.migrated_tasks;
+              string_of_int i.C.lost_instances;
+              Printf.sprintf "%.2f" (1. /. i.C.predicted_period);
+              Printf.sprintf "%.2f" (1. /. report.C.final_period);
+              Printf.sprintf "%.3f" (i.C.predicted_period /. report.C.final_period);
+            ])
+    (graphs ());
+  Support.Table.print table;
+  print_newline ()

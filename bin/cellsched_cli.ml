@@ -7,6 +7,7 @@
      simulate   run a mapped stream through the Cell simulator
      compare    run every strategy side by side on one graph
      schedule   print the periodic steady-state schedule
+     faults     inject faults and recover online by remapping
      dot        export a graph to Graphviz *)
 
 open Cmdliner
@@ -312,6 +313,232 @@ let compare_cmd =
        ~doc:"Compare every mapping strategy on a graph (predicted + simulated)")
     Term.(const run $ graph_arg $ n_spe_arg $ gap_arg $ time_limit_arg $ instances)
 
+(* --- faults ----------------------------------------------------------------- *)
+
+let fail_spec_conv =
+  let parse s =
+    try Scanf.sscanf s "%d@%f" (fun spe t -> Ok (spe, t))
+    with _ -> Error (`Msg "expected SPE@TIME, e.g. 3@0.25")
+  in
+  let print ppf (spe, t) = Format.fprintf ppf "%d@@%g" spe t in
+  Arg.conv (parse, print)
+
+let interval_spec_conv =
+  let parse s =
+    try
+      Scanf.sscanf s "%d@%f:%fx%f" (fun pe t1 t2 f -> Ok (pe, t1, t2, f))
+    with _ -> Error (`Msg "expected PE@FROM:UNTILxFACTOR, e.g. 2@0.1:0.5x3")
+  in
+  let print ppf (pe, t1, t2, f) =
+    Format.fprintf ppf "%d@@%g:%gx%g" pe t1 t2 f
+  in
+  Arg.conv (parse, print)
+
+let json_float v =
+  if Float.is_nan v then "null" else Printf.sprintf "%.9g" v
+
+let report_json platform (report : Resilience.Controller.report) =
+  let module C = Resilience.Controller in
+  let incident (i : C.incident) =
+    Printf.sprintf
+      "{\"failed_pes\":[%s],\"stall_time\":%s,\"detection_time\":%s,\
+       \"recovery_time\":%s,\"remap_cost\":%s,\"migration_cost\":%s,\
+       \"migrated_tasks\":%d,\"lost_instances\":%d,\"strategy\":\"%s\",\
+       \"predicted_period\":%s}"
+      (String.concat ","
+         (List.map
+            (fun pe -> Printf.sprintf "\"%s\"" (Cell.Platform.pe_name platform pe))
+            i.C.failed_pes))
+      (json_float i.C.stall_time)
+      (json_float i.C.detection_time)
+      (json_float i.C.recovery_time)
+      (json_float i.C.remap_cost)
+      (json_float i.C.migration_cost)
+      i.C.migrated_tasks i.C.lost_instances i.C.strategy
+      (json_float i.C.predicted_period)
+  in
+  Printf.sprintf
+    "{\"requested\":%d,\"completed\":%d,\"recovered\":%b,\"makespan\":%s,\
+     \"baseline_period\":%s,\"final_period\":%s,\"incidents\":[%s]}"
+    report.C.requested report.C.completed report.C.recovered
+    (json_float report.C.makespan)
+    (json_float report.C.baseline_period)
+    (json_float report.C.final_period)
+    (String.concat "," (List.map incident report.C.incidents))
+
+let faults_cmd =
+  let module C = Resilience.Controller in
+  let run path n_spe strategy gap time_limit instances fails slowdowns degrades
+      random fault_seed horizon policy window threshold gantt svg json =
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    let loads = Cellsched.Steady_state.loads platform g mapping in
+    let period = Cellsched.Steady_state.period platform loads in
+    let horizon =
+      match horizon with
+      | Some h -> h
+      | None -> period *. float_of_int instances /. 2.
+    in
+    let spe_pe spe =
+      let spes = Cell.Platform.spes platform in
+      match List.nth_opt spes spe with
+      | Some pe -> pe
+      | None ->
+          Printf.eprintf "cellsched: no SPE %d on this platform (0-%d)\n" spe
+            (List.length spes - 1);
+          exit 2
+    in
+    let plan =
+      try
+        let plan =
+          List.map
+            (fun (spe, t) -> Fault.fail_stop ~pe:(spe_pe spe) ~at:t)
+            fails
+          @ List.map
+              (fun (pe, t1, t2, f) ->
+                Fault.slowdown ~pe ~factor:f ~from_:t1 ~until:t2)
+              slowdowns
+          @ List.map
+              (fun (pe, t1, t2, f) ->
+                Fault.link_degrade ~pe ~factor:f ~from_:t1 ~until:t2)
+              degrades
+          @
+          if random > 0 then
+            Fault.random_campaign
+              ~rng:(Support.Rng.create fault_seed)
+              ~n_fail_stops:random ~n_slowdowns:random ~n_degrades:random
+              platform ~horizon
+          else []
+        in
+        Fault.validate platform plan;
+        plan
+      with Invalid_argument msg ->
+        Printf.eprintf "cellsched: %s\n" msg;
+        exit 2
+    in
+    let options = { C.default_options with policy; window; degradation_threshold = threshold } in
+    let trace =
+      if gantt || svg <> None then Some (Simulator.Trace.create ()) else None
+    in
+    if not json then begin
+      report_mapping platform g mapping;
+      Format.printf "@.fault plan:@.  @[<v>%a@]@.@." (Fault.pp platform) plan
+    end;
+    let report = C.run ~options ?trace ~faults:plan platform g mapping ~instances in
+    if json then print_endline (report_json platform report)
+    else Format.printf "%a@." (C.pp_report platform) report;
+    (match (trace, report.C.incidents) with
+    | None, _ -> ()
+    | Some trace, incidents ->
+        (* Window the chart around the first incident (or mid-stream). *)
+        let from_time, to_time =
+          match incidents with
+          | i :: _ ->
+              let pad = 25. *. period in
+              ( Float.max 0. (i.C.stall_time -. pad),
+                Float.min report.C.makespan
+                  ((if Float.is_nan i.C.recovery_time then i.C.detection_time
+                    else i.C.recovery_time)
+                  +. (2. *. pad)) )
+          | [] ->
+              let mid = report.C.makespan /. 2. in
+              (mid, mid +. (report.C.makespan /. 50.))
+        in
+        if gantt then
+          print_string (Simulator.Trace.gantt ~from_time ~to_time platform trace);
+        match svg with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Simulator.Trace.to_svg ~from_time ~to_time platform trace));
+            Printf.printf "wrote %s\n" file
+        | None -> ());
+    if report.C.recovered then 0 else 1
+  in
+  let instances =
+    Arg.(value & opt int 5000 & info [ "instances"; "n" ] ~doc:"Stream length.")
+  in
+  let fails =
+    Arg.(
+      value
+      & opt_all fail_spec_conv []
+      & info [ "fail-spe" ] ~docv:"SPE@TIME"
+          ~doc:"Fail-stop SPE number $(i,SPE) at $(i,TIME) seconds (repeatable).")
+  in
+  let slowdowns =
+    Arg.(
+      value
+      & opt_all interval_spec_conv []
+      & info [ "slowdown" ] ~docv:"PE@FROM:UNTILxF"
+          ~doc:"Slow PE index $(i,PE) by factor $(i,F) over the interval (repeatable).")
+  in
+  let degrades =
+    Arg.(
+      value
+      & opt_all interval_spec_conv []
+      & info [ "degrade" ] ~docv:"PE@FROM:UNTILxF"
+          ~doc:"Divide the interface bandwidth of PE $(i,PE) by $(i,F) over the interval (repeatable).")
+  in
+  let random =
+    Arg.(
+      value & opt int 0
+      & info [ "random" ] ~docv:"K"
+          ~doc:"Add a random campaign: $(i,K) fail-stops, slowdowns and degradations each.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ]
+          ~doc:"Campaign horizon in seconds (default: half the predicted run).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("heuristic", C.Heuristic); ("refined", C.Refined) ]) C.Heuristic
+      & info [ "policy" ] ~doc:"Recovery policy: heuristic, refined.")
+  in
+  let window =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~doc:"Completions in the failure-detection window.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ]
+          ~doc:"Windowed-rate fraction below which the failure alarm fires.")
+  in
+  let gantt =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the incident.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~doc:"Write an SVG Gantt chart of the incident to this file.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the recovery report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Inject faults into a simulated stream and recover online")
+    Term.(
+      const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
+      $ time_limit_arg $ instances $ fails $ slowdowns $ degrades $ random
+      $ fault_seed $ horizon $ policy $ window $ threshold $ gantt $ svg
+      $ json)
+
 (* --- dot -------------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -334,4 +561,16 @@ let dot_cmd =
 let () =
   let doc = "Steady-state scheduling of streaming applications on the Cell" in
   let info = Cmd.info "cellsched" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; info_cmd; map_cmd; simulate_cmd; schedule_cmd; compare_cmd; dot_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd;
+            info_cmd;
+            map_cmd;
+            simulate_cmd;
+            schedule_cmd;
+            compare_cmd;
+            faults_cmd;
+            dot_cmd;
+          ]))

@@ -1,0 +1,67 @@
+(* Failover demo: an SPE fail-stops halfway through a stream and the
+   resilience controller recovers online — detect, mask, remap, migrate,
+   resume. Prints the incident report and an ASCII Gantt chart of the
+   incident window: the healthy steady state ramping down into the stall,
+   the recovery gap, and the degraded steady state on the survivors.
+
+   Run with: dune exec examples/failover_demo.exe *)
+
+module P = Cell.Platform
+module SS = Cellsched.Steady_state
+module C = Resilience.Controller
+
+let () =
+  let g = Daggen.Presets.random_graph_1 () in
+  let platform = P.qs22 () in
+  Format.printf "%a@.@." P.pp platform;
+  let name, mapping =
+    match
+      Cellsched.Heuristics.best_feasible platform g
+        (Cellsched.Heuristics.standard_candidates ~with_lp:true platform g)
+    with
+    | Some nm -> nm
+    | None -> ("ppe-only", Cellsched.Heuristics.ppe_only platform g)
+  in
+  Format.printf "initial mapping (%s):@.%a@.@." name
+    (Cellsched.Mapping.pp platform g)
+    mapping;
+  (* Kill the busiest SPE halfway through the stream. *)
+  let victim =
+    List.fold_left
+      (fun best pe ->
+        let load pe = List.length (Cellsched.Mapping.tasks_on mapping pe) in
+        match best with
+        | Some b when load b >= load pe -> best
+        | _ when load pe > 0 -> Some pe
+        | _ -> best)
+      None (P.spes platform)
+    |> Option.get
+  in
+  let n = 4000 in
+  let period = SS.period platform (SS.loads platform g mapping) in
+  let at = float_of_int n *. period /. 2. in
+  let faults = [ Fault.fail_stop ~pe:victim ~at ] in
+  Format.printf "fault plan:@.  %a@.@." (Fault.pp platform) faults;
+  let trace = Simulator.Trace.create () in
+  let report = C.run ~trace ~faults platform g mapping ~instances:n in
+  Format.printf "%a@.@." (C.pp_report platform) report;
+  let incident = List.hd report.C.incidents in
+  let pad = 20. *. period in
+  Format.printf "incident window (x = fault, # = compute, - = transfer):@.";
+  print_string
+    (Simulator.Trace.gantt ~width:100
+       ~from_time:(Float.max 0. (incident.C.stall_time -. pad))
+       ~to_time:(incident.C.recovery_time +. (3. *. pad))
+       platform trace);
+  Format.printf
+    "@.recovery latency: %.1f ms (detect %.1f + remap %.1f + migrate %.1f)@."
+    ((incident.C.recovery_time -. incident.C.stall_time) *. 1e3)
+    ((incident.C.detection_time -. incident.C.stall_time) *. 1e3)
+    (incident.C.remap_cost *. 1e3)
+    (incident.C.migration_cost *. 1e3);
+  Format.printf
+    "degraded throughput: %.2f inst/s measured vs %.2f inst/s predicted on \
+     the survivors (%.1f%%)@."
+    (1. /. report.C.final_period)
+    (1. /. incident.C.predicted_period)
+    (100. *. incident.C.predicted_period /. report.C.final_period)

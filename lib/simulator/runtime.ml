@@ -27,7 +27,11 @@ type metrics = {
   bytes_transferred : float;
 }
 
-type event = Compute_done of int  (* task *) | Transfer_done of int  (* edge *)
+type event =
+  | Compute_done of int  (* task *)
+  | Transfer_done of int  (* edge *)
+  | Fault_begin of int  (* index into the fault plan *)
+  | Fault_end of int
 
 type sim = {
   platform : P.t;
@@ -52,12 +56,17 @@ type sim = {
   pending_overhead : float array;  (* comm-management CPU time owed per PE *)
   pe_busy : float array;
   completion_times : float array;
+  faults : Fault.fault array;  (* injected fault plan, sorted by onset *)
+  failed : bool array;  (* fail-stopped PEs *)
+  compute_factor : float array;  (* current compute-time multiplier per PE *)
+  bw_factor : float array;  (* current interface-bandwidth multiplier *)
+  mutable last_progress : float;  (* time of the last delivered instance *)
   mutable completed_instances : int;  (* min over tasks of produced *)
   mutable transfers : int;
   mutable bytes_transferred : float;
 }
 
-let make_sim ~options ~trace platform g mapping n_instances =
+let make_sim ~options ~trace ~faults platform g mapping n_instances =
   let fp = Cellsched.Steady_state.first_periods g in
   let cap =
     Array.init (G.n_edges g) (fun e ->
@@ -72,6 +81,7 @@ let make_sim ~options ~trace platform g mapping n_instances =
         Array.sort (fun a b -> compare topo_pos.(a) topo_pos.(b)) tasks;
         tasks)
   in
+  let sim =
   {
     platform;
     g;
@@ -95,10 +105,26 @@ let make_sim ~options ~trace platform g mapping n_instances =
     pending_overhead = Array.make (P.n_pes platform) 0.;
     pe_busy = Array.make (P.n_pes platform) 0.;
     completion_times = Array.make n_instances nan;
+    faults;
+    failed = Array.make (P.n_pes platform) false;
+    compute_factor = Array.make (P.n_pes platform) 1.;
+    bw_factor = Array.make (P.n_pes platform) 1.;
+    last_progress = 0.;
     completed_instances = 0;
     transfers = 0;
     bytes_transferred = 0.;
   }
+  in
+  Array.iteri
+    (fun i (f : Fault.fault) ->
+      Engine.schedule sim.engine f.Fault.start (Fault_begin i);
+      if f.Fault.finish < infinity then
+        Engine.schedule sim.engine f.Fault.finish (Fault_end i))
+    faults;
+  sim
+
+(* Effective interface bandwidth of a PE under the current faults. *)
+let ifc_bw sim pe = sim.platform.P.bw *. sim.bw_factor.(pe)
 
 let colocated sim e = not (Cellsched.Mapping.is_remote sim.mapping (G.edge sim.g e))
 
@@ -135,7 +161,7 @@ let start_compute sim k =
     if task.Streaming.Task.read_bytes > 0. then begin
       let finish =
         Float.max now sim.in_avail.(pe)
-        +. (task.Streaming.Task.read_bytes /. sim.platform.P.bw)
+        +. (task.Streaming.Task.read_bytes /. ifc_bw sim pe)
       in
       sim.in_avail.(pe) <- finish;
       finish
@@ -145,6 +171,9 @@ let start_compute sim k =
   let cls = P.pe_class sim.platform pe in
   let w = Streaming.Task.w task cls in
   let w = if cls = P.PPE then w /. sim.platform.P.ppe_speedup else w in
+  (* A slowdown fault in force when the slot starts stretches the whole
+     slot (the factor is sampled once, at dispatch). *)
+  let w = w *. sim.compute_factor.(pe) in
   (* Communication management (issuing Gets, watching DMA, signalling)
      interrupts computation: charge the accumulated cost to this slot. *)
   let duration =
@@ -177,7 +206,9 @@ let transfer_eligible sim e =
        let { G.src; dst; _ } = G.edge sim.g e in
        let src_pe = Cellsched.Mapping.pe sim.mapping src in
        let dst_pe = Cellsched.Mapping.pe sim.mapping dst in
-       sim.transferred.(e) + 1 - sim.produced.(dst) <= sim.cap.(e)
+       (not sim.failed.(src_pe))
+       && (not sim.failed.(dst_pe))
+       && sim.transferred.(e) + 1 - sim.produced.(dst) <= sim.cap.(e)
        && ((not (P.is_spe sim.platform dst_pe))
           || sim.dma_in_count.(dst_pe) < sim.platform.P.max_dma_in)
        && ((not (P.is_spe sim.platform src_pe && P.is_ppe sim.platform dst_pe))
@@ -200,10 +231,11 @@ let start_transfer sim e =
     else start
   in
   (* A cross-Cell transfer is paced by the slower of the EIB interface and
-     the inter-Cell BIF. *)
+     the inter-Cell BIF; a degraded interface on either endpoint slows the
+     whole transfer. *)
+  let ifc = Float.min (ifc_bw sim src_pe) (ifc_bw sim dst_pe) in
   let rate =
-    if cross then Float.min sim.platform.P.bw sim.platform.P.inter_cell_bw
-    else sim.platform.P.bw
+    if cross then Float.min ifc sim.platform.P.inter_cell_bw else ifc
   in
   let finish =
     start +. sim.options.dma_setup_time +. (edge.G.data_bytes /. rate)
@@ -249,7 +281,7 @@ let dispatch sim =
   done;
   Array.iteri
     (fun pe running ->
-      if running < 0 then begin
+      if running < 0 && not sim.failed.(pe) then begin
         let best = ref (-1) in
         let better k =
           match !best with
@@ -264,6 +296,10 @@ let dispatch sim =
     sim.pe_running
 
 let handle sim = function
+  | Compute_done k when sim.failed.(Cellsched.Mapping.pe sim.mapping k) ->
+      (* The PE fail-stopped while computing: the in-flight instance is
+         dropped (fault semantics); nothing is produced. *)
+      sim.pe_running.(Cellsched.Mapping.pe sim.mapping k) <- -1
   | Compute_done k ->
       let pe = Cellsched.Mapping.pe sim.mapping k in
       let task = G.task sim.g k in
@@ -273,11 +309,12 @@ let handle sim = function
       if task.Streaming.Task.write_bytes > 0. then
         sim.out_avail.(pe) <-
           Float.max (Engine.now sim.engine) sim.out_avail.(pe)
-          +. (task.Streaming.Task.write_bytes /. sim.platform.P.bw);
+          +. (task.Streaming.Task.write_bytes /. ifc_bw sim pe);
       (* Colocated consumers see the data immediately. *)
       List.iter
         (fun e -> if colocated sim e then sim.transferred.(e) <- sim.produced.(k))
         (G.out_edges sim.g k);
+      sim.last_progress <- Engine.now sim.engine;
       (* Track globally completed instances. *)
       let min_produced = Array.fold_left min max_int sim.produced in
       while sim.completed_instances < min_produced do
@@ -296,25 +333,42 @@ let handle sim = function
         sim.dma_in_count.(dst_pe) <- sim.dma_in_count.(dst_pe) - 1;
       if P.is_spe sim.platform src_pe && P.is_ppe sim.platform dst_pe then
         sim.dma_ppe_count.(src_pe) <- sim.dma_ppe_count.(src_pe) - 1
+  | Fault_begin i ->
+      let f = sim.faults.(i) in
+      if not sim.failed.(f.Fault.pe) then begin
+        match f.Fault.kind with
+        | Fault.Fail_stop -> sim.failed.(f.Fault.pe) <- true
+        | Fault.Slowdown factor -> sim.compute_factor.(f.Fault.pe) <- factor
+        | Fault.Link_degrade factor ->
+            sim.bw_factor.(f.Fault.pe) <- 1. /. factor
+      end
+  | Fault_end i ->
+      let f = sim.faults.(i) in
+      if not sim.failed.(f.Fault.pe) then begin
+        match f.Fault.kind with
+        | Fault.Fail_stop -> ()
+        | Fault.Slowdown _ -> sim.compute_factor.(f.Fault.pe) <- 1.
+        | Fault.Link_degrade _ -> sim.bw_factor.(f.Fault.pe) <- 1.
+      end
 
-let run ?(options = default_options) ?trace platform g mapping ~instances =
-  if instances <= 0 then invalid_arg "Runtime.run: instances must be positive";
+let check_deployable platform g mapping =
   (* Local-store overflow is a hard error: the application cannot be
      deployed at all. DMA-queue pressure, in contrast, is handled by the
      runtime (transfers queue until a slot frees), so mappings violating
      the MILP's per-period DMA constraints still run -- just slower. *)
-  (match
-     List.filter
-       (function Cellsched.Steady_state.Memory _ -> true | _ -> false)
-       (Cellsched.Steady_state.violations platform g mapping)
-   with
+  match
+    List.filter
+      (function Cellsched.Steady_state.Memory _ -> true | _ -> false)
+      (Cellsched.Steady_state.violations platform g mapping)
+  with
   | [] -> ()
   | v :: _ ->
       invalid_arg
         (Format.asprintf "Runtime.run: infeasible mapping (%a)"
            (Cellsched.Steady_state.pp_violation platform)
-           v));
-  let sim = make_sim ~options ~trace platform g mapping instances in
+           v)
+
+let simulate sim =
   dispatch sim;
   let rec loop () =
     match Engine.next sim.engine with
@@ -324,27 +378,114 @@ let run ?(options = default_options) ?trace platform g mapping ~instances =
         dispatch sim;
         loop ()
   in
-  loop ();
-  if sim.completed_instances <> instances then
-    failwith "Runtime.run: simulation stalled (runtime bug)";
-  let makespan = sim.completion_times.(instances - 1) in
+  loop ()
+
+let metrics_of sim ~completed =
+  let makespan =
+    if completed > 0 then sim.completion_times.(completed - 1) else 0.
+  in
   let steady_throughput =
-    if instances < 4 then float_of_int instances /. makespan
+    if completed = 0 then 0.
+    else if completed < 4 then float_of_int completed /. makespan
     else begin
-      let half = instances / 2 in
+      let half = completed / 2 in
       let t0 = sim.completion_times.(half - 1) in
-      float_of_int (instances - half) /. (makespan -. t0)
+      float_of_int (completed - half) /. (makespan -. t0)
     end
   in
   {
-    instances;
+    instances = completed;
     makespan;
-    completion_times = sim.completion_times;
-    average_throughput = float_of_int instances /. makespan;
+    completion_times = Array.sub sim.completion_times 0 completed;
+    average_throughput =
+      (if completed = 0 then 0. else float_of_int completed /. makespan);
     steady_throughput;
     pe_busy = sim.pe_busy;
     transfers = sim.transfers;
     bytes_transferred = sim.bytes_transferred;
+  }
+
+let run ?(options = default_options) ?trace platform g mapping ~instances =
+  if instances <= 0 then invalid_arg "Runtime.run: instances must be positive";
+  check_deployable platform g mapping;
+  let sim = make_sim ~options ~trace ~faults:[||] platform g mapping instances in
+  simulate sim;
+  if sim.completed_instances <> instances then
+    failwith "Runtime.run: simulation stalled (runtime bug)";
+  metrics_of sim ~completed:instances
+
+type fault_outcome = {
+  metrics : metrics;
+  completed : int;
+  stalled : bool;
+  stall_time : float;
+  survivors : bool array;
+  progress : int array;
+}
+
+let fault_label (f : Fault.fault) =
+  match f.Fault.kind with
+  | Fault.Fail_stop -> "FAIL"
+  | Fault.Slowdown factor -> Printf.sprintf "SLOW x%.1f" factor
+  | Fault.Link_degrade factor -> Printf.sprintf "BW /%.1f" factor
+
+let run_with_faults ?(options = default_options) ?trace ~faults platform g
+    mapping ~instances =
+  if instances <= 0 then
+    invalid_arg "Runtime.run_with_faults: instances must be positive";
+  Fault.validate platform faults;
+  check_deployable platform g mapping;
+  let faults = Array.of_list (Fault.sorted faults) in
+  let sim = make_sim ~options ~trace ~faults platform g mapping instances in
+  simulate sim;
+  let horizon = Engine.now sim.engine in
+  (match trace with
+  | None -> ()
+  | Some trace ->
+      Array.iter
+        (fun (f : Fault.fault) ->
+          Trace.record trace
+            {
+              Trace.pe = f.Fault.pe;
+              label = fault_label f;
+              kind = `Fault;
+              start = f.Fault.start;
+              finish = Float.max f.Fault.start (Float.min f.Fault.finish horizon);
+            })
+        faults);
+  let completed = sim.completed_instances in
+  let stalled = completed < instances in
+  (* The event drain after a stall still fires Fault_begin for fail-stops
+     scheduled later in the plan, so [sim.failed] over-reports: only the
+     failures that had happened when progress stopped are observable by a
+     controller.  Fail-stops after the stall stay in its pending plan and
+     surface in a later segment.  If the stall predates every completion
+     (the victim hosts the stream's final task, say), blame the earliest
+     fail-stop alone. *)
+  let survivors =
+    let alive = Array.make (P.n_pes platform) true in
+    Array.iter
+      (fun (f : Fault.fault) ->
+        if f.Fault.kind = Fault.Fail_stop && f.Fault.start <= sim.last_progress
+        then alive.(f.Fault.pe) <- false)
+      faults;
+    if stalled && Array.for_all Fun.id alive then
+      Array.iter
+        (fun (f : Fault.fault) ->
+          if
+            f.Fault.kind = Fault.Fail_stop
+            && Array.for_all Fun.id alive
+          then alive.(f.Fault.pe) <- false)
+        faults;
+    alive
+  in
+  {
+    metrics = metrics_of sim ~completed;
+    completed;
+    stalled;
+    stall_time = sim.last_progress;
+    survivors;
+    progress = Array.copy sim.produced;
   }
 
 let throughput_curve metrics ~points =

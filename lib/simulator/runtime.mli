@@ -66,3 +66,50 @@ val throughput_curve : metrics -> points:int -> (int * float) list
 (** Cumulative throughput (instances per second after i instances) sampled
     at [points] evenly spaced instance counts — the experimental curve of
     Fig. 6. *)
+
+(** {1 Fault injection}
+
+    {!run_with_faults} replays a {!Fault.plan} as simulation events: a
+    fail-stopped PE stops selecting tasks and drops its in-flight
+    instance (transfers already in flight complete, new transfers to or
+    from it never start), a slowed PE stretches every compute slot
+    starting inside the fault window by the slowdown factor, and a
+    degraded interface divides the bandwidth seen by transfers and
+    main-memory traffic touching that PE. An empty plan reproduces
+    {!run} exactly. *)
+
+type fault_outcome = {
+  metrics : metrics;
+      (** Metrics over the instances that completed; on a stall,
+          [metrics.instances <] the requested stream length and
+          [completion_times] is truncated accordingly. *)
+  completed : int;  (** Instances fully processed by every task. *)
+  stalled : bool;
+      (** The stream could not finish on the faulty platform (some task
+          is pinned to a fail-stopped PE); recovery needs a remapping —
+          see {!Resilience.Controller}. *)
+  stall_time : float;
+      (** Time of the last delivered task instance — when forward
+          progress stopped. *)
+  survivors : bool array;  (** Per-PE: still alive at the end. *)
+  progress : int array;
+      (** Per-task instances produced; beyond [completed], this work was
+          in flight in the pipeline when the stream stalled. *)
+}
+
+val run_with_faults :
+  ?options:options ->
+  ?trace:Trace.t ->
+  faults:Fault.plan ->
+  Cell.Platform.t ->
+  Streaming.Graph.t ->
+  Cellsched.Mapping.t ->
+  instances:int ->
+  fault_outcome
+(** Simulate the stream under the fault plan. Unlike {!run}, a stalled
+    stream is not an error: the outcome reports how far the stream got.
+    With [?trace], faults are additionally recorded as [`Fault] spans
+    (clipped to the simulated horizon) so Gantt output shows the
+    incident.
+    @raise Invalid_argument on a non-positive stream length, an invalid
+    plan ({!Fault.validate}) or a mapping that overflows a local store. *)

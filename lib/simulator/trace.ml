@@ -1,7 +1,7 @@
 type span = {
   pe : int;
   label : string;
-  kind : [ `Compute | `Transfer ];
+  kind : [ `Compute | `Transfer | `Fault ];
   start : float;
   finish : float;
 }
@@ -51,11 +51,20 @@ let gantt ?(width = 80) ?from_time ?to_time platform t =
       let last =
         min (width - 1) (int_of_float ((s.finish -. lo) /. cell_width))
       in
-      let mark = if s.kind = `Compute then '#' else '-' in
+      let mark =
+        match s.kind with `Compute -> '#' | `Transfer -> '-' | `Fault -> 'x'
+      in
       for col = first to last do
-        (* Compute activity paints over transfer marks, not vice versa. *)
-        if mark = '#' || Bytes.get rows.(s.pe) col = '.' then
-          Bytes.set rows.(s.pe) col mark
+        (* Fault spans paint over everything, compute over transfer marks,
+           transfers only over idle cells. *)
+        let cur = Bytes.get rows.(s.pe) col in
+        let paint =
+          match mark with
+          | 'x' -> true
+          | '#' -> cur <> 'x'
+          | _ -> cur = '.'
+        in
+        if paint then Bytes.set rows.(s.pe) col mark
       done
     end
   in
@@ -99,16 +108,18 @@ let to_svg ?(width = 800) ?(row_height = 22) ?from_time ?to_time platform t =
         max 1 (int_of_float ((Float.min hi s.finish -. Float.max lo s.start) *. scale))
       in
       let y = 20 + (s.pe * row_height) in
-      let color, h, dy =
+      let color, h, dy, opacity =
         match s.kind with
-        | `Compute -> ("#4878a8", row_height - 4, 0)
-        | `Transfer -> ("#c86830", (row_height - 4) / 3, (2 * (row_height - 4)) / 3)
+        | `Compute -> ("#4878a8", row_height - 4, 0, 1.0)
+        | `Transfer ->
+            ("#c86830", (row_height - 4) / 3, (2 * (row_height - 4)) / 3, 1.0)
+        | `Fault -> ("#d03030", row_height - 4, 0, 0.35)
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"><title>%s \
-            [%.6f..%.6f]</title></rect>\n"
-           x (y + dy) w h color s.label s.start s.finish)
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+            fill-opacity=\"%.2f\"><title>%s [%.6f..%.6f]</title></rect>\n"
+           x (y + dy) w h color opacity s.label s.start s.finish)
     end
   in
   List.iter paint (spans t);

@@ -8,8 +8,8 @@
 
 type span = {
   pe : int;  (** Executing PE (for transfers: the destination PE). *)
-  label : string;  (** ["task[i]"] or ["D(src,dst)[i]"]. *)
-  kind : [ `Compute | `Transfer ];
+  label : string;  (** ["task[i]"], ["D(src,dst)[i]"] or a fault label. *)
+  kind : [ `Compute | `Transfer | `Fault ];
   start : float;
   finish : float;
 }
@@ -37,7 +37,8 @@ val gantt :
   t ->
   string
 (** ASCII Gantt chart: one row per PE, ['#'] for compute, ['-'] for
-    transfer activity, ['.'] for idle. [width] defaults to 80 columns. *)
+    transfer activity, ['x'] for an active fault, ['.'] for idle. [width]
+    defaults to 80 columns. *)
 
 val to_svg :
   ?width:int ->

@@ -1,0 +1,405 @@
+(* Tests for the resilience subsystem: fault plans, fault-injecting
+   simulation, and the online remapping controller. *)
+
+module P = Cell.Platform
+module G = Streaming.Graph
+module SS = Cellsched.Steady_state
+module R = Simulator.Runtime
+module C = Resilience.Controller
+
+let mk_task ?(peek = 0) ?(w_ppe = 1e-3) ?(w_spe = 1e-3) name =
+  Streaming.Task.make ~name ~w_ppe ~w_spe ~peek ()
+
+let no_overhead =
+  {
+    R.overhead_fraction = 0.;
+    dma_setup_time = 0.;
+    comm_cpu_time = 0.;
+    peek_flush = true;
+  }
+
+let controller_options =
+  { C.default_options with sim_options = no_overhead }
+
+(* --- fault plans ----------------------------------------------------------- *)
+
+let test_campaign_deterministic () =
+  let platform = P.qs22 () in
+  let plan seed =
+    Fault.random_campaign
+      ~rng:(Support.Rng.create seed)
+      ~n_fail_stops:2 ~n_slowdowns:3 ~n_degrades:3 platform ~horizon:10.
+  in
+  Alcotest.(check bool) "same seed, same plan" true (plan 7 = plan 7);
+  Alcotest.(check bool) "different seed, different plan" false
+    (plan 7 = plan 8);
+  Alcotest.(check int) "all faults drawn" 8 (List.length (plan 7))
+
+let test_campaign_never_kills_ppe () =
+  let platform = P.qs22 () in
+  for seed = 0 to 20 do
+    let plan =
+      Fault.random_campaign
+        ~rng:(Support.Rng.create seed)
+        ~n_fail_stops:3 platform ~horizon:5.
+    in
+    List.iter
+      (fun (f : Fault.fault) ->
+        if f.Fault.kind = Fault.Fail_stop then
+          Alcotest.(check bool) "fail-stop only on SPEs" true
+            (P.is_spe platform f.Fault.pe))
+      plan
+  done
+
+let test_validate_rejects () =
+  let platform = P.qs22 () in
+  let rejects plan =
+    Alcotest.check_raises "rejected" (Invalid_argument "x") (fun () ->
+        try Fault.validate platform plan
+        with Invalid_argument _ -> raise (Invalid_argument "x"))
+  in
+  rejects [ Fault.fail_stop ~pe:99 ~at:1. ];
+  rejects [ Fault.slowdown ~pe:1 ~factor:0.5 ~from_:0. ~until:1. ];
+  rejects [ Fault.slowdown ~pe:1 ~factor:2. ~from_:1. ~until:1. ];
+  rejects [ Fault.link_degrade ~pe:1 ~factor:2. ~from_:(-1.) ~until:1. ];
+  (* Overlapping same-kind faults on one PE. *)
+  rejects
+    [
+      Fault.slowdown ~pe:1 ~factor:2. ~from_:0. ~until:2.;
+      Fault.slowdown ~pe:1 ~factor:3. ~from_:1. ~until:3.;
+    ];
+  (* Disjoint or different-kind faults are fine. *)
+  Fault.validate platform
+    [
+      Fault.slowdown ~pe:1 ~factor:2. ~from_:0. ~until:1.;
+      Fault.slowdown ~pe:1 ~factor:3. ~from_:2. ~until:3.;
+      Fault.link_degrade ~pe:1 ~factor:2. ~from_:0. ~until:3.;
+    ]
+
+let test_shift_and_mask () =
+  let plan =
+    [
+      Fault.fail_stop ~pe:2 ~at:1.;
+      Fault.fail_stop ~pe:3 ~at:5.;
+      Fault.slowdown ~pe:4 ~factor:2. ~from_:2. ~until:6.;
+    ]
+  in
+  let shifted = Fault.shift 4. plan in
+  (* The fired fail-stop is dropped, the future one moves to t=1, the
+     straddling slowdown is clipped to [0, 2). *)
+  Alcotest.(check int) "two faults left" 2 (List.length shifted);
+  List.iter
+    (fun (f : Fault.fault) ->
+      match f.Fault.kind with
+      | Fault.Fail_stop ->
+          Alcotest.(check (float 1e-9)) "shifted onset" 1. f.Fault.start
+      | Fault.Slowdown _ ->
+          Alcotest.(check (float 1e-9)) "clipped onset" 0. f.Fault.start;
+          Alcotest.(check (float 1e-9)) "clipped end" 2. f.Fault.finish
+      | _ -> Alcotest.fail "unexpected kind")
+    shifted;
+  let masked =
+    Fault.mask ~alive:(fun pe -> pe <> 3) ~remap:(fun pe -> pe - 1) shifted
+  in
+  Alcotest.(check int) "dead PE's fault dropped" 1 (List.length masked);
+  Alcotest.(check int) "renumbered" 3 (List.hd masked).Fault.pe
+
+(* --- fault-injecting simulation ------------------------------------------- *)
+
+let chain2 () =
+  G.of_tasks
+    [| mk_task "a"; mk_task "b" |]
+    [ (0, 1, 1024.) ]
+
+let test_empty_plan_identical () =
+  let g = Daggen.Presets.figure_2b () in
+  let platform = P.qs22 ~n_spe:4 () in
+  let mapping =
+    match
+      Cellsched.Heuristics.best_feasible platform g
+        (Cellsched.Heuristics.standard_candidates ~with_lp:false platform g)
+    with
+    | Some (_, m) -> m
+    | None -> Cellsched.Heuristics.ppe_only platform g
+  in
+  let plain = R.run platform g mapping ~instances:500 in
+  let faulty = R.run_with_faults ~faults:[] platform g mapping ~instances:500 in
+  Alcotest.(check bool) "not stalled" false faulty.R.stalled;
+  Alcotest.(check int) "instances" plain.R.instances faulty.R.metrics.R.instances;
+  Alcotest.(check (float 0.)) "makespan identical" plain.R.makespan
+    faulty.R.metrics.R.makespan;
+  Alcotest.(check (float 0.)) "steady identical" plain.R.steady_throughput
+    faulty.R.metrics.R.steady_throughput;
+  Alcotest.(check int) "transfers identical" plain.R.transfers
+    faulty.R.metrics.R.transfers;
+  Alcotest.(check (float 0.)) "bytes identical" plain.R.bytes_transferred
+    faulty.R.metrics.R.bytes_transferred;
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "completion %d identical" i)
+        t
+        faulty.R.metrics.R.completion_times.(i))
+    plain.R.completion_times;
+  Array.iteri
+    (fun pe b ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "pe_busy %d identical" pe)
+        b faulty.R.metrics.R.pe_busy.(pe))
+    plain.R.pe_busy
+
+let test_slowdown_halves_throughput () =
+  let g = chain2 () in
+  let platform = P.make ~n_ppe:1 ~n_spe:1 () in
+  let mapping = Cellsched.Mapping.make platform g [| 0; 1 |] in
+  let healthy =
+    R.run ~options:no_overhead platform g mapping ~instances:2000
+  in
+  (* Slow the SPE (the bottleneck peer) by 2x for the whole run. *)
+  let faults = [ Fault.slowdown ~pe:1 ~factor:2. ~from_:0. ~until:1e9 ] in
+  let slow =
+    R.run_with_faults ~options:no_overhead ~faults platform g mapping
+      ~instances:2000
+  in
+  Alcotest.(check bool) "completes" false slow.R.stalled;
+  let ratio =
+    slow.R.metrics.R.steady_throughput /. healthy.R.steady_throughput
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput halved (ratio %.3f)" ratio)
+    true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_degrade_stretches_transfers () =
+  (* Make the edge communication-bound so a degraded interface shows. *)
+  let g =
+    G.of_tasks
+      [| mk_task ~w_ppe:1e-6 ~w_spe:1e-6 "a"; mk_task ~w_ppe:1e-6 ~w_spe:1e-6 "b" |]
+      [ (0, 1, 64. *. 1024.) ]
+  in
+  let platform = P.make ~n_ppe:1 ~n_spe:1 () in
+  let mapping = Cellsched.Mapping.make platform g [| 0; 1 |] in
+  let healthy =
+    R.run ~options:no_overhead platform g mapping ~instances:1000
+  in
+  let faults = [ Fault.link_degrade ~pe:1 ~factor:4. ~from_:0. ~until:1e9 ] in
+  let slow =
+    R.run_with_faults ~options:no_overhead ~faults platform g mapping
+      ~instances:1000
+  in
+  let ratio =
+    slow.R.metrics.R.steady_throughput /. healthy.R.steady_throughput
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "transfer-bound throughput quartered (ratio %.3f)" ratio)
+    true
+    (ratio > 0.2 && ratio < 0.3)
+
+let test_fail_stop_stalls () =
+  let g = chain2 () in
+  let platform = P.make ~n_ppe:1 ~n_spe:1 () in
+  let mapping = Cellsched.Mapping.make platform g [| 0; 1 |] in
+  let faults = [ Fault.fail_stop ~pe:1 ~at:0.05 ] in
+  let r =
+    R.run_with_faults ~options:no_overhead ~faults platform g mapping
+      ~instances:2000
+  in
+  Alcotest.(check bool) "stalled" true r.R.stalled;
+  Alcotest.(check bool) "PE 1 dead" false r.R.survivors.(1);
+  Alcotest.(check bool) "PPE alive" true r.R.survivors.(0);
+  Alcotest.(check bool) "some progress" true (r.R.completed > 0);
+  Alcotest.(check bool) "incomplete" true (r.R.completed < 2000);
+  Alcotest.(check bool) "stall after onset" true (r.R.stall_time >= 0.05)
+
+let test_fault_on_idle_pe_harmless () =
+  let g = chain2 () in
+  let platform = P.qs22 ~n_spe:4 () in
+  (* Everything on the PPE; kill an unused SPE. *)
+  let mapping = Cellsched.Mapping.all_on_ppe platform g in
+  let faults = [ Fault.fail_stop ~pe:3 ~at:0.01 ] in
+  let r =
+    R.run_with_faults ~options:no_overhead ~faults platform g mapping
+      ~instances:500
+  in
+  Alcotest.(check bool) "completes" false r.R.stalled;
+  let plain = R.run ~options:no_overhead platform g mapping ~instances:500 in
+  Alcotest.(check (float 0.)) "makespan unchanged" plain.R.makespan
+    r.R.metrics.R.makespan
+
+let test_trace_fault_spans () =
+  let g = chain2 () in
+  let platform = P.make ~n_ppe:1 ~n_spe:1 () in
+  let mapping = Cellsched.Mapping.make platform g [| 0; 1 |] in
+  let trace = Simulator.Trace.create () in
+  let faults = [ Fault.fail_stop ~pe:1 ~at:0.05 ] in
+  ignore
+    (R.run_with_faults ~options:no_overhead ~trace ~faults platform g mapping
+       ~instances:1000);
+  let fault_spans =
+    List.filter
+      (fun s -> s.Simulator.Trace.kind = `Fault)
+      (Simulator.Trace.spans trace)
+  in
+  Alcotest.(check int) "one fault span" 1 (List.length fault_spans);
+  let s = List.hd fault_spans in
+  Alcotest.(check int) "on the failed PE" 1 s.Simulator.Trace.pe;
+  Alcotest.(check (float 1e-9)) "at the onset" 0.05 s.Simulator.Trace.start;
+  let chart = Simulator.Trace.gantt ~width:60 platform trace in
+  Alcotest.(check bool) "gantt shows the incident" true
+    (String.contains chart 'x')
+
+(* --- recovery controller --------------------------------------------------- *)
+
+let test_controller_no_faults () =
+  let g = Daggen.Presets.figure_2b () in
+  let platform = P.qs22 ~n_spe:4 () in
+  let mapping =
+    match
+      Cellsched.Heuristics.best_feasible platform g
+        (Cellsched.Heuristics.standard_candidates ~with_lp:false platform g)
+    with
+    | Some (_, m) -> m
+    | None -> Cellsched.Heuristics.ppe_only platform g
+  in
+  let report =
+    C.run ~options:controller_options ~faults:[] platform g mapping
+      ~instances:800
+  in
+  Alcotest.(check bool) "recovered" true report.C.recovered;
+  Alcotest.(check int) "no incidents" 0 (List.length report.C.incidents);
+  Alcotest.(check int) "all done" 800 report.C.completed;
+  let plain = R.run ~options:no_overhead platform g mapping ~instances:800 in
+  Alcotest.(check (float 0.)) "same makespan as the plain simulator"
+    plain.R.makespan report.C.makespan
+
+let spe_with_tasks platform mapping =
+  match
+    List.find_opt
+      (fun pe -> Cellsched.Mapping.tasks_on mapping pe <> [])
+      (P.spes platform)
+  with
+  | Some pe -> pe
+  | None -> Alcotest.fail "mapping uses no SPE"
+
+let test_failover_end_to_end () =
+  let g = Daggen.Presets.random_graph_1 () in
+  let platform = P.qs22 () in
+  let mapping =
+    match
+      Cellsched.Heuristics.best_feasible platform g
+        (Cellsched.Heuristics.standard_candidates ~with_lp:true platform g)
+    with
+    | Some (_, m) -> m
+    | None -> Alcotest.fail "no feasible mapping"
+  in
+  let n = 3000 in
+  let victim = spe_with_tasks platform mapping in
+  (* Fail mid-stream: a quarter of the way through the expected run. *)
+  let period = SS.period platform (SS.loads platform g mapping) in
+  let at = float_of_int n *. period /. 4. in
+  let faults = [ Fault.fail_stop ~pe:victim ~at ] in
+  let report =
+    C.run ~options:controller_options ~faults platform g mapping ~instances:n
+  in
+  Alcotest.(check bool) "recovered" true report.C.recovered;
+  Alcotest.(check int) "stream completed" n report.C.completed;
+  Alcotest.(check int) "one incident" 1 (List.length report.C.incidents);
+  let incident = List.hd report.C.incidents in
+  Alcotest.(check bool) "names the victim" true
+    (incident.C.failed_pes = [ victim ]);
+  Alcotest.(check bool) "ordering" true
+    (incident.C.stall_time <= incident.C.detection_time
+    && incident.C.detection_time < incident.C.recovery_time);
+  Alcotest.(check bool) "tasks migrated" true (incident.C.migrated_tasks > 0);
+  (* Acceptance criterion: the measured post-recovery period matches the
+     steady-state prediction on the surviving platform within 10%. *)
+  let deviation =
+    Float.abs (report.C.final_period -. incident.C.predicted_period)
+    /. incident.C.predicted_period
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "degraded period %.6fs within 10%% of predicted %.6fs (deviation %.1f%%)"
+       report.C.final_period incident.C.predicted_period (100. *. deviation))
+    true (deviation < 0.10);
+  (* Degraded-mode throughput cannot beat the healthy platform. *)
+  Alcotest.(check bool) "degraded >= baseline period" true
+    (incident.C.predicted_period >= report.C.baseline_period -. 1e-12);
+  (* All completions are monotone across the incident. *)
+  let mono = ref true in
+  for i = 1 to n - 1 do
+    if report.C.completion_times.(i) < report.C.completion_times.(i - 1) then
+      mono := false
+  done;
+  Alcotest.(check bool) "global completion times monotone" true !mono
+
+let test_double_failure () =
+  let g = Daggen.Presets.random_graph_1 () in
+  let platform = P.qs22 ~n_spe:4 () in
+  let mapping =
+    match
+      Cellsched.Heuristics.best_feasible platform g
+        (Cellsched.Heuristics.standard_candidates ~with_lp:false platform g)
+    with
+    | Some (_, m) -> m
+    | None -> Alcotest.fail "no feasible mapping"
+  in
+  let n = 2000 in
+  let period = SS.period platform (SS.loads platform g mapping) in
+  let faults =
+    [
+      Fault.fail_stop ~pe:1 ~at:(float_of_int n *. period /. 5.);
+      Fault.fail_stop ~pe:2 ~at:(float_of_int n *. period);
+    ]
+  in
+  let report =
+    C.run ~options:controller_options ~faults platform g mapping ~instances:n
+  in
+  Alcotest.(check bool) "recovered from both" true report.C.recovered;
+  Alcotest.(check int) "stream completed" n report.C.completed;
+  (* The second fail-stop lands long after the first recovery, so each
+     failure gets its own detect/mask/remap incident. *)
+  Alcotest.(check int) "one incident per failure" 2
+    (List.length report.C.incidents);
+  List.iter
+    (fun (i : C.incident) ->
+      Alcotest.(check int) "single victim per incident" 1
+        (List.length i.C.failed_pes))
+    report.C.incidents
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "fault-plans",
+        [
+          Alcotest.test_case "campaign determinism" `Quick
+            test_campaign_deterministic;
+          Alcotest.test_case "campaign spares PPEs" `Quick
+            test_campaign_never_kills_ppe;
+          Alcotest.test_case "validation" `Quick test_validate_rejects;
+          Alcotest.test_case "shift and mask" `Quick test_shift_and_mask;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "empty plan is byte-identical" `Quick
+            test_empty_plan_identical;
+          Alcotest.test_case "slowdown halves throughput" `Quick
+            test_slowdown_halves_throughput;
+          Alcotest.test_case "degraded link stretches transfers" `Quick
+            test_degrade_stretches_transfers;
+          Alcotest.test_case "fail-stop stalls the stream" `Quick
+            test_fail_stop_stalls;
+          Alcotest.test_case "fault on an idle PE is harmless" `Quick
+            test_fault_on_idle_pe_harmless;
+          Alcotest.test_case "trace records fault spans" `Quick
+            test_trace_fault_spans;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "no faults, no incidents" `Quick
+            test_controller_no_faults;
+          Alcotest.test_case "SPE fail-stop end to end" `Quick
+            test_failover_end_to_end;
+          Alcotest.test_case "double failure" `Quick test_double_failure;
+        ] );
+    ]

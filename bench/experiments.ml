@@ -531,3 +531,147 @@ let faults () =
     (graphs ());
   Support.Table.print table;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* M2 - search micro-benchmark: incremental Eval engine vs scratch.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference baseline: the pre-engine local search, one full
+   Steady_state recompute per candidate move or swap. Kept verbatim so
+   the engine's speedup is measured against the real historical cost;
+   both searches must return the identical mapping (the engine probes
+   candidates in the same order with bitwise-equal periods). *)
+let local_search_scratch ?(max_passes = 50) platform g mapping =
+  let module M = Cellsched.Mapping in
+  let assignment = M.to_array mapping in
+  let n = P.n_pes platform in
+  let best_period =
+    ref
+      (SS.period platform
+         (SS.loads platform g (M.make platform g assignment)))
+  in
+  let eval () =
+    let candidate = M.make platform g assignment in
+    if SS.feasible platform g candidate then
+      Some (SS.period platform (SS.loads platform g candidate))
+    else None
+  in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for k = 0 to G.n_tasks g - 1 do
+      let home = assignment.(k) in
+      let best_move = ref None in
+      for pe = 0 to n - 1 do
+        if pe <> home then begin
+          assignment.(k) <- pe;
+          match eval () with
+          | Some t when t < !best_period -. 1e-12 ->
+              best_period := t;
+              best_move := Some pe
+          | _ -> ()
+        end
+      done;
+      assignment.(k) <-
+        (match !best_move with Some pe -> improved := true; pe | None -> home)
+    done;
+    for k1 = 0 to G.n_tasks g - 1 do
+      for k2 = k1 + 1 to G.n_tasks g - 1 do
+        if assignment.(k1) <> assignment.(k2) then begin
+          let p1 = assignment.(k1) and p2 = assignment.(k2) in
+          assignment.(k1) <- p2;
+          assignment.(k2) <- p1;
+          match eval () with
+          | Some t when t < !best_period -. 1e-12 ->
+              best_period := t;
+              improved := true
+          | _ ->
+              assignment.(k1) <- p1;
+              assignment.(k2) <- p2
+        end
+      done
+    done
+  done;
+  M.make platform g assignment
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let search () =
+  print_endline "== Search micro-benchmark: incremental engine vs scratch ==";
+  print_endline
+    "   (local search through Eval probes vs full per-candidate recompute;\n\
+    \    identical mappings required; branch-and-bound timing for context)";
+  let platform = P.qs22 () in
+  let module M = Cellsched.Mapping in
+  let module Search = Cellsched.Mapping_search in
+  let table =
+    Support.Table.create
+      [ "graph"; "tasks"; "scratch ls"; "engine ls"; "speedup"; "same"; "b&b nodes"; "b&b time" ]
+  in
+  let json_rows = ref [] in
+  let ok_94 = ref true in
+  List.iter
+    (fun (name, g) ->
+      let start =
+        match
+          H.best_feasible platform g
+            (H.standard_candidates ~with_lp:false platform g)
+        with
+        | Some (_, m) -> m
+        | None -> H.ppe_only platform g
+      in
+      let m_scratch, t_scratch =
+        time_of (fun () -> local_search_scratch platform g start)
+      in
+      let m_engine, t_engine =
+        time_of (fun () -> H.local_search platform g start)
+      in
+      let period m = SS.period platform (SS.loads platform g m) in
+      let same =
+        M.to_array m_scratch = M.to_array m_engine
+        && period m_scratch = period m_engine
+      in
+      let speedup = if t_engine > 0. then t_scratch /. t_engine else infinity in
+      if G.n_tasks g >= 90 && (speedup < 2. || not same) then ok_94 := false;
+      let bb_options = { Search.default_options with time_limit = 10. } in
+      let r, t_bb =
+        time_of (fun () -> Search.solve ~options:bb_options platform g)
+      in
+      Support.Table.add_row table
+        [
+          name;
+          string_of_int (G.n_tasks g);
+          Printf.sprintf "%.3f s" t_scratch;
+          Printf.sprintf "%.3f s" t_engine;
+          Printf.sprintf "%.1fx" speedup;
+          (if same then "yes" else "NO");
+          string_of_int r.Search.nodes;
+          Printf.sprintf "%.3f s" t_bb;
+        ];
+      json_rows :=
+        Printf.sprintf
+          "    { \"graph\": %S, \"tasks\": %d, \"scratch_local_search_s\": %.6f,\n\
+          \      \"engine_local_search_s\": %.6f, \"speedup\": %.3f,\n\
+          \      \"same_mapping\": %b, \"period_s\": %.9g,\n\
+          \      \"bb_nodes\": %d, \"bb_time_s\": %.6f, \"bb_period_s\": %.9g }"
+          name (G.n_tasks g) t_scratch t_engine speedup same
+          (period m_engine) r.Search.nodes t_bb r.Search.period
+        :: !json_rows)
+    (graphs ());
+  Support.Table.print table;
+  let oc = open_out "BENCH_eval.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"search\",\n  \"platform\": \"QS22 (1 PPE + 8 SPEs)\",\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "wrote BENCH_eval.json";
+  if not !ok_94 then
+    print_endline
+      "WARNING: engine local search under 2x (or diverged) on the 94-task preset";
+  print_newline ()

@@ -2,13 +2,13 @@
    evaluation (S6), plus the ablations called for by S7 and a bechamel
    micro-benchmark suite.
 
-   Usage: main.exe [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|all]...
+   Usage: main.exe [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|all]...
    With no experiment argument, everything runs. --quick shortens the
    simulated streams by 10x for fast smoke runs. *)
 
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|all]...";
+    "usage: bench [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|all]...";
   exit 2
 
 let () =
@@ -17,7 +17,7 @@ let () =
   if quick then Experiments.scale := 0.1;
   let experiments =
     List.filter (fun a -> a <> "--quick") args |> function
-    | [] | [ "all" ] -> [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication"; "dualcell"; "faults"; "micro" ]
+    | [] | [ "all" ] -> [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication"; "dualcell"; "faults"; "micro"; "search" ]
     | names -> names
   in
   print_endline "cellstream benchmark harness";
@@ -36,6 +36,7 @@ let () =
     | "dualcell" -> Experiments.dualcell ()
     | "faults" -> Experiments.faults ()
     | "micro" -> Experiments.micro ()
+    | "search" -> Experiments.search ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

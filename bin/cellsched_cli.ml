@@ -70,17 +70,18 @@ let compute_mapping strategy ~gap ~time_limit platform g =
 
 let report_mapping platform g mapping =
   Format.printf "%a@." (Cellsched.Mapping.pp platform g) mapping;
-  let violations = Cellsched.Steady_state.violations platform g mapping in
+  (* One engine evaluation answers violations, bottleneck and throughput. *)
+  let ev = Cellsched.Eval.create platform g mapping in
   List.iter
     (fun v ->
       Format.printf "violation: %a@."
         (Cellsched.Steady_state.pp_violation platform)
         v)
-    violations;
-  let loads = Cellsched.Steady_state.loads platform g mapping in
-  let resource, time = Cellsched.Steady_state.bottleneck platform loads in
+    (Cellsched.Eval.violations ev);
+  let resource, time = Cellsched.Eval.bottleneck ev in
+  let period = Cellsched.Eval.period ev in
   Format.printf "predicted throughput: %.2f instances/s@."
-    (Cellsched.Steady_state.throughput platform g mapping);
+    (if period <= 0. then infinity else 1. /. period);
   Format.printf "bottleneck: %a (%.4f ms per instance)@."
     (Cellsched.Steady_state.pp_resource platform)
     resource (time *. 1e3)

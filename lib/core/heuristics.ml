@@ -3,128 +3,126 @@ module P = Cell.Platform
 
 let ppe_only platform g = Mapping.all_on_ppe platform g
 
-(* Incremental placement state shared by the greedy strategies: per-PE
-   compute load, SPE memory footprint and DMA counters, maintained while
-   tasks are placed in topological order (so a task's predecessors are
-   always placed before it). *)
-type state = {
-  platform : P.t;
-  g : G.t;
-  buff : float array;  (* per-edge buffer bytes *)
-  assignment : int array;  (* -1 = not placed yet *)
-  compute : float array;
-  memory : float array;
-  dma_in : int array;
-  dma_to_ppe : int array;
-}
-
-let make_state platform g =
-  let fp = Steady_state.first_periods g in
-  {
-    platform;
-    g;
-    buff = Steady_state.buffer_sizes ~first_periods:fp g;
-    assignment = Array.make (G.n_tasks g) (-1);
-    compute = Array.make (P.n_pes platform) 0.;
-    memory = Array.make (P.n_pes platform) 0.;
-    dma_in = Array.make (P.n_pes platform) 0;
-    dma_to_ppe = Array.make (P.n_pes platform) 0;
-  }
-
-let task_buffer_bytes st k =
-  let sum = List.fold_left (fun acc e -> acc +. st.buff.(e)) 0. in
-  sum (G.out_edges st.g k) +. sum (G.in_edges st.g k)
+(* All placement strategies walk the tasks through one incremental
+   {!Eval} engine: the engine is the authority on per-PE compute load,
+   SPE memory footprint, and DMA counters while tasks are placed in
+   topological order (so a task's predecessors are always placed before
+   it). *)
 
 (* Number of in-edges of [k] whose (already placed) producer is remote. *)
-let remote_in_edges st k pe =
+let remote_in_edges ev k pe =
   List.length
     (List.filter
        (fun e ->
-         let src = (G.edge st.g e).G.src in
-         st.assignment.(src) >= 0 && st.assignment.(src) <> pe)
-       (G.in_edges st.g k))
+         let src = (G.edge (Eval.graph ev) e).G.src in
+         Eval.pe_of ev src >= 0 && Eval.pe_of ev src <> pe)
+       (G.in_edges (Eval.graph ev) k))
 
-(* Predecessor SPEs that would gain a to-PPE transfer if [k] lands on a
-   PPE. *)
-let spe_preds st k =
-  List.filter_map
-    (fun e ->
-      let src = (G.edge st.g e).G.src in
-      let pe = st.assignment.(src) in
-      if pe >= 0 && P.is_spe st.platform pe then Some pe else None)
-    (G.in_edges st.g k)
+(* Per-SPE count of to-PPE transfers a PPE placement of [k] would add:
+   one per in-edge from a task already placed on that SPE. *)
+let spe_pred_counts ev k =
+  List.fold_left
+    (fun acc e ->
+      let src = (G.edge (Eval.graph ev) e).G.src in
+      let pe = Eval.pe_of ev src in
+      if pe >= 0 && P.is_spe (Eval.platform ev) pe then
+        let cur = try List.assoc pe acc with Not_found -> 0 in
+        (pe, cur + 1) :: List.remove_assoc pe acc
+      else acc)
+    []
+    (G.in_edges (Eval.graph ev) k)
 
-let can_place st k pe =
-  if P.is_spe st.platform pe then begin
-    let budget = float_of_int (P.spe_memory_budget st.platform) in
-    st.memory.(pe) +. task_buffer_bytes st k <= budget
-    && st.dma_in.(pe) + remote_in_edges st k pe <= st.platform.P.max_dma_in
+let can_place ev k pe =
+  let platform = Eval.platform ev in
+  if P.is_spe platform pe then begin
+    let budget = float_of_int (P.spe_memory_budget platform) in
+    Eval.memory_on ev pe +. Eval.task_buffer_bytes ev k <= budget
+    && Eval.dma_in_on ev pe + remote_in_edges ev k pe <= platform.P.max_dma_in
   end
   else
-    (* A PPE placement consumes a to-PPE DMA slot on every remote SPE
-       predecessor. *)
+    (* A PPE placement consumes a to-PPE DMA slot per remote in-edge from
+       an SPE predecessor. *)
     List.for_all
-      (fun spe -> st.dma_to_ppe.(spe) + 1 <= st.platform.P.max_dma_to_ppe)
-      (spe_preds st k)
+      (fun (spe, count) ->
+        Eval.dma_to_ppe_on ev spe + count <= platform.P.max_dma_to_ppe)
+      (spe_pred_counts ev k)
 
-let place st k pe =
-  st.assignment.(k) <- pe;
-  let cls = P.pe_class st.platform pe in
-  let w = Streaming.Task.w (G.task st.g k) cls in
-  let w = if cls = P.PPE then w /. st.platform.P.ppe_speedup else w in
-  st.compute.(pe) <- st.compute.(pe) +. w;
-  if P.is_spe st.platform pe then
-    st.memory.(pe) <- st.memory.(pe) +. task_buffer_bytes st k;
-  let account_in e =
-    let src = (G.edge st.g e).G.src in
-    let src_pe = st.assignment.(src) in
-    if src_pe >= 0 && src_pe <> pe then begin
-      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) + 1;
-      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
-        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) + 1
-    end
+(* The greedy fallback (no PE passes [can_place]) forces tasks onto the
+   PPE, which can overflow a predecessor SPE's to-PPE DMA queue — the
+   blind spot the old incremental bookkeeping documented and never fixed.
+   Repair: while some SPE exceeds its to-PPE queue, move one of its
+   PPE-feeding tasks to the PPE. Each step strictly shrinks the SPE-hosted
+   task population (to-PPE pressure on an SPE only comes from tasks it
+   hosts), so the loop terminates with no [Dma_to_ppe] violation; SPE
+   memory only decreases along the way. *)
+let repair_to_ppe ev =
+  let platform = Eval.platform ev and g = Eval.graph ev in
+  let overflowing () =
+    List.find_opt
+      (fun spe -> Eval.dma_to_ppe_on ev spe > platform.P.max_dma_to_ppe)
+      (P.spes platform)
   in
-  List.iter account_in (G.in_edges st.g k)
-
-let finish st =
-  Mapping.make st.platform st.g
-    (Array.map (fun pe -> if pe < 0 then 0 else pe) st.assignment)
+  let feeds_a_ppe k =
+    List.exists
+      (fun e ->
+        let dst = (G.edge g e).G.dst in
+        let pe = Eval.pe_of ev dst in
+        pe >= 0 && P.is_ppe platform pe)
+      (G.out_edges g k)
+  in
+  let rec fix () =
+    match overflowing () with
+    | None -> ()
+    | Some spe ->
+        (* A culprit always exists: every to-PPE slot of [spe] belongs to
+           a task hosted there with a PPE consumer. *)
+        let victim =
+          List.find
+            (fun k -> Eval.pe_of ev k = spe && feeds_a_ppe k)
+            (List.init (G.n_tasks g) Fun.id)
+        in
+        Eval.apply_move ev ~task:victim ~pe:0;
+        fix ()
+  in
+  fix ()
 
 let greedy_generic ~choose platform g =
-  let st = make_state platform g in
+  let ev = Eval.create_empty platform g in
   let order = G.topological_order g in
   let handle k =
-    match choose st k with
-    | Some pe -> place st k pe
-    | None -> place st k 0
+    match choose ev k with
+    | Some pe -> Eval.assign ev ~task:k ~pe
+    | None -> Eval.assign ev ~task:k ~pe:0
   in
   Array.iter handle order;
-  finish st
+  repair_to_ppe ev;
+  Eval.mapping ev
 
 let greedy_mem platform g =
-  let choose st k =
-    let candidates = List.filter (can_place st k) (P.spes st.platform) in
+  let choose ev k =
+    let candidates = List.filter (can_place ev k) (P.spes platform) in
     match candidates with
     | [] -> None
     | first :: rest ->
         Some
           (List.fold_left
-             (fun best pe -> if st.memory.(pe) < st.memory.(best) then pe else best)
+             (fun best pe ->
+               if Eval.memory_on ev pe < Eval.memory_on ev best then pe
+               else best)
              first rest)
   in
   greedy_generic ~choose platform g
 
 let greedy_cpu platform g =
-  let choose st k =
+  let choose ev k =
     let load pe =
-      let cls = P.pe_class st.platform pe in
-      let w = Streaming.Task.w (G.task st.g k) cls in
-      let w = if cls = P.PPE then w /. st.platform.P.ppe_speedup else w in
-      st.compute.(pe) +. w
+      let cls = P.pe_class platform pe in
+      let w = Streaming.Task.w (G.task g k) cls in
+      let w = if cls = P.PPE then w /. platform.P.ppe_speedup else w in
+      Eval.compute_on ev pe +. w
     in
     let candidates =
-      List.filter (can_place st k)
-        (List.init (P.n_pes st.platform) Fun.id)
+      List.filter (can_place ev k) (List.init (P.n_pes platform) Fun.id)
     in
     match candidates with
     | [] -> None
@@ -141,13 +139,11 @@ let greedy_cpu platform g =
    binding resource (the usual regime on the Cell; cf. the paper's
    observation that SPE memory dominates the mapping problem). *)
 let density_pack platform g =
-  let st = make_state platform g in
+  let ev = Eval.create_empty platform g in
   let nk = G.n_tasks g in
-  let w_ppe k =
-    (G.task g k).Streaming.Task.w_ppe /. platform.P.ppe_speedup
-  in
+  let w_ppe k = (G.task g k).Streaming.Task.w_ppe /. platform.P.ppe_speedup in
   let density k =
-    let mem = task_buffer_bytes st k in
+    let mem = Eval.task_buffer_bytes ev k in
     if mem <= 0. then infinity else w_ppe k /. mem
   in
   let by_density = Array.init nk Fun.id in
@@ -159,85 +155,72 @@ let density_pack platform g =
     let best = ref (-1) in
     Array.iter
       (fun pe ->
-        if st.memory.(pe) +. task_buffer_bytes st k <= budget then
+        if Eval.memory_on ev pe +. Eval.task_buffer_bytes ev k <= budget then
           match !best with
           | -1 -> best := pe
-          | b -> if st.compute.(pe) < st.compute.(b) then best := pe)
+          | b -> if Eval.compute_on ev pe < Eval.compute_on ev b then best := pe)
       spes;
     !best
   in
   Array.iter
     (fun k ->
       match place_spe k with
-      | -1 -> st.assignment.(k) <- 0
-      | pe ->
-          st.assignment.(k) <- pe;
-          st.memory.(pe) <- st.memory.(pe) +. task_buffer_bytes st k;
-          st.compute.(pe) <-
-            st.compute.(pe) +. (G.task g k).Streaming.Task.w_spe)
+      | -1 -> Eval.assign ev ~task:k ~pe:0
+      | pe -> Eval.assign ev ~task:k ~pe)
     by_density;
-  finish st
+  repair_to_ppe ev;
+  Eval.mapping ev
 
 let random ~rng platform g =
   let n = P.n_pes platform in
   Mapping.make platform g
     (Array.init (G.n_tasks g) (fun _ -> Support.Rng.int rng n))
 
-let local_search ?(max_passes = 50) platform g mapping =
-  let assignment = Mapping.to_array mapping in
+let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
+    mapping =
+  let ev = Eval.create ~options platform g mapping in
   let n = P.n_pes platform in
-  let best_period =
-    ref
-      (Steady_state.period platform
-         (Steady_state.loads platform g (Mapping.make platform g assignment)))
-  in
-  let eval () =
-    let candidate = Mapping.make platform g assignment in
-    if Steady_state.feasible platform g candidate then
-      Some (Steady_state.period platform (Steady_state.loads platform g candidate))
-    else None
-  in
+  let best_period = ref (Eval.period ev) in
   let improved = ref true in
   let passes = ref 0 in
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
-    (* Single-task moves. *)
+    (* Single-task moves, probed through the engine in O(degree) each. *)
     for k = 0 to G.n_tasks g - 1 do
-      let home = assignment.(k) in
+      let home = Eval.pe_of ev k in
       let best_move = ref None in
       for pe = 0 to n - 1 do
         if pe <> home then begin
-          assignment.(k) <- pe;
-          match eval () with
-          | Some t when t < !best_period -. 1e-12 ->
-              best_period := t;
-              best_move := Some pe
-          | _ -> ()
+          let t, feas = Eval.probe_move ev ~task:k ~pe in
+          if feas && t < !best_period -. 1e-12 then begin
+            best_period := t;
+            best_move := Some pe
+          end
         end
       done;
-      assignment.(k) <- (match !best_move with Some pe -> improved := true; pe | None -> home)
+      match !best_move with
+      | Some pe ->
+          improved := true;
+          Eval.apply_move ev ~task:k ~pe
+      | None -> ()
     done;
     (* Pairwise swaps: essential when the local stores are full, where no
        single move is feasible but exchanging tasks is. *)
     for k1 = 0 to G.n_tasks g - 1 do
       for k2 = k1 + 1 to G.n_tasks g - 1 do
-        if assignment.(k1) <> assignment.(k2) then begin
-          let p1 = assignment.(k1) and p2 = assignment.(k2) in
-          assignment.(k1) <- p2;
-          assignment.(k2) <- p1;
-          match eval () with
-          | Some t when t < !best_period -. 1e-12 ->
-              best_period := t;
-              improved := true
-          | _ ->
-              assignment.(k1) <- p1;
-              assignment.(k2) <- p2
+        if Eval.pe_of ev k1 <> Eval.pe_of ev k2 then begin
+          let t, feas = Eval.probe_swap ev k1 k2 in
+          if feas && t < !best_period -. 1e-12 then begin
+            best_period := t;
+            improved := true;
+            Eval.apply_swap ev k1 k2
+          end
         end
       done
     done
   done;
-  Mapping.make platform g assignment
+  Eval.mapping ev
 
 (* The dense-inverse simplex degrades on very large LPs; past this row
    count the rounding falls back to the density heuristic. *)
@@ -257,7 +240,7 @@ let lp_rounding ?(improve = true) platform g =
   | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded -> fallback ()
   | Lp.Simplex.Optimal sol ->
       let alpha = formulation.Milp_formulation.alpha in
-      let st = make_state platform g in
+      let ev = Eval.create_empty platform g in
       let order = G.topological_order g in
       let handle k =
         (* PEs by decreasing fractional alpha, filtered by feasibility. *)
@@ -266,28 +249,35 @@ let lp_rounding ?(improve = true) platform g =
             (fun a b -> compare sol.Lp.Simplex.x.(alpha.(k).(b)) sol.Lp.Simplex.x.(alpha.(k).(a)))
             (List.init (P.n_pes platform) Fun.id)
         in
-        match List.find_opt (can_place st k) ranked with
-        | Some pe -> place st k pe
-        | None -> place st k 0
+        match List.find_opt (can_place ev k) ranked with
+        | Some pe -> Eval.assign ev ~task:k ~pe
+        | None -> Eval.assign ev ~task:k ~pe:0
       in
       Array.iter handle order;
-      let mapping = finish st in
+      repair_to_ppe ev;
+      let mapping = Eval.mapping ev in
       if improve && Steady_state.feasible platform g mapping then
         local_search platform g mapping
       else mapping
 
 let best_feasible platform g candidates =
-  let feasible =
-    List.filter (fun (_, m) -> Steady_state.feasible platform g m) candidates
+  (* One engine pass per candidate: feasibility and period in a single
+     O(tasks + edges) evaluation instead of repeated scratch recomputes. *)
+  let scored =
+    List.filter_map
+      (fun (name, m) ->
+        let ev = Eval.create platform g m in
+        if Eval.feasible ev then Some ((name, m), Eval.period ev) else None)
+      candidates
   in
-  let throughput (_, m) = Steady_state.throughput platform g m in
-  match feasible with
+  match scored with
   | [] -> None
   | first :: rest ->
       Some
-        (List.fold_left
-           (fun best c -> if throughput c > throughput best then c else best)
-           first rest)
+        (fst
+           (List.fold_left
+              (fun (best, bt) (c, t) -> if t < bt then (c, t) else (best, bt))
+              first rest))
 
 let standard_candidates ?(with_lp = true) platform g =
   let base =

@@ -6,11 +6,16 @@
     that "simple heuristics fail": [lp_rounding] rounds the LP relaxation
     of the mapping program and [local_search] hill-climbs single-task moves.
 
-    All heuristics perform incremental feasibility checks (SPE memory and
-    DMA-queue limits) when placing a task on an SPE, and fall back to the
-    PPE when no SPE fits; the returned mapping should still be validated
-    with {!Steady_state.feasible} (a forced PPE placement can, in corner
-    cases, overflow a predecessor SPE's to-PPE DMA queue). *)
+    All heuristics place tasks through the incremental {!Eval} engine,
+    which performs the feasibility checks (SPE memory and DMA-queue
+    limits) as tasks are placed and falls back to the PPE when no SPE
+    fits. Forced PPE placements that would overflow a predecessor SPE's
+    to-PPE DMA queue are repaired before returning: the returned mapping
+    never carries a {!Steady_state.Dma_to_ppe} violation. Memory or
+    incoming-DMA infeasibility can still occur when the graph fits
+    nowhere (e.g. a single task's buffers exceed every local store), so
+    callers selecting among candidates should still consult
+    {!Steady_state.feasible} or {!Eval.feasible}. *)
 
 val ppe_only : Cell.Platform.t -> Streaming.Graph.t -> Mapping.t
 (** Everything on PPE0 — the speed-up baseline. *)
@@ -34,6 +39,7 @@ val random : rng:Support.Rng.t -> Cell.Platform.t -> Streaming.Graph.t -> Mappin
 (** Uniformly random PE per task (may be infeasible); for tests. *)
 
 val local_search :
+  ?options:Eval.options ->
   ?max_passes:int ->
   Cell.Platform.t ->
   Streaming.Graph.t ->
@@ -42,7 +48,11 @@ val local_search :
 (** Best-improvement hill climbing over single-task moves and pairwise
     swaps (swaps matter when the local stores are full and no single move
     is feasible), keeping feasibility; stops at a local optimum or after
-    [max_passes] (default 50) sweeps. The input mapping must be feasible. *)
+    [max_passes] (default 50) sweeps. The input mapping must be feasible.
+    Candidates are probed through {!Eval.probe_move}/{!Eval.probe_swap} —
+    O(degree) per candidate instead of a full steady-state recompute —
+    under the given evaluation [options] (default {!Eval.default_options},
+    the paper's model). *)
 
 val lp_rounding :
   ?improve:bool -> Cell.Platform.t -> Streaming.Graph.t -> Mapping.t

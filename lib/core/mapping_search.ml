@@ -25,23 +25,19 @@ type result = {
   optimal_within_gap : bool;
 }
 
+(* Branch nodes extend one incremental {!Eval} engine: [Eval.assign] on
+   the way down, [Eval.unassign] on backtrack, and the engine is the
+   authority on the committed resource state ([Eval.period] is the
+   assigned-resources bound). The search keeps only its own relaxation
+   machinery: the assignment order, effective costs, knapsack orders and
+   suffix sums feeding the divisible bound. *)
 type state = {
   platform : P.t;
   g : G.t;
-  share : bool;  (* model the S7 colocated-buffer sharing *)
+  ev : Eval.t;
   order : int array;  (* topological order of assignment *)
-  buff : float array;
   w_ppe : float array;  (* effective PPE cost (speedup applied) *)
   w_spe : float array;
-  assignment : int array;  (* -1 = unassigned *)
-  compute : float array;
-  memory : float array;
-  bytes_in : float array;
-  bytes_out : float array;
-  link_out : float array;  (* cross-cell bytes per cell, each direction *)
-  link_in : float array;
-  dma_in : int array;
-  dma_to_ppe : int array;
   mutable used_spes : int;  (* SPEs in use are spes.(0 .. used_spes-1) *)
   by_ratio : int array;  (* tasks sorted by w_spe/w_ppe descending *)
   suffix_wspe : float array;  (* sum of w_spe over order.(pos..) *)
@@ -105,20 +101,13 @@ let make_state ~share platform g =
   {
     platform;
     g;
-    share;
+    ev =
+      Eval.create_empty
+        ~options:(Eval.make_options ~share_colocated_buffers:share ())
+        platform g;
     order;
-    buff;
     w_ppe;
     w_spe;
-    assignment = Array.make nk (-1);
-    compute = Array.make (P.n_pes platform) 0.;
-    memory = Array.make (P.n_pes platform) 0.;
-    bytes_in = Array.make (P.n_pes platform) 0.;
-    bytes_out = Array.make (P.n_pes platform) 0.;
-    link_out = Array.make platform.P.n_cells 0.;
-    link_in = Array.make platform.P.n_cells 0.;
-    dma_in = Array.make (P.n_pes platform) 0;
-    dma_to_ppe = Array.make (P.n_pes platform) 0;
     used_spes = 0;
     by_ratio;
     suffix_wspe;
@@ -129,146 +118,40 @@ let make_state ~share platform g =
     suffix_forced_wppe;
   }
 
-let task_buffer_bytes st k =
-  let sum = List.fold_left (fun acc e -> acc +. st.buff.(e)) 0. in
-  sum (G.out_edges st.g k) +. sum (G.in_edges st.g k)
-
-(* Memory delta of placing [k] on [pe]: all its buffers, minus one copy of
-   every buffer shared with a neighbour already on [pe] (S7 optimization,
-   when enabled): the colocated edge then occupies a single buffer instead
-   of separate in/out copies, exactly matching
-   [Steady_state.loads ~share_colocated_buffers:true]. *)
-let mem_delta st k pe =
-  let base = task_buffer_bytes st k in
-  if not st.share then base
-  else begin
-    let saved e other =
-      if st.assignment.(other) = pe then st.buff.(e) else 0.
-    in
-    let saved_in =
-      List.fold_left
-        (fun acc e -> acc +. saved e (G.edge st.g e).G.src)
-        0. (G.in_edges st.g k)
-    in
-    let saved_out =
-      List.fold_left
-        (fun acc e -> acc +. saved e (G.edge st.g e).G.dst)
-        0. (G.out_edges st.g k)
-    in
-    base -. (saved_in +. saved_out)
-  end
-
 let remote_in_edges st k pe =
   List.length
     (List.filter
        (fun e ->
          let src = (G.edge st.g e).G.src in
-         st.assignment.(src) >= 0 && st.assignment.(src) <> pe)
+         let p = Eval.pe_of st.ev src in
+         p >= 0 && p <> pe)
        (G.in_edges st.g k))
 
 let spe_preds st k pe =
   List.filter_map
     (fun e ->
       let src = (G.edge st.g e).G.src in
-      let p = st.assignment.(src) in
+      let p = Eval.pe_of st.ev src in
       if p >= 0 && p <> pe && P.is_spe st.platform p then Some p else None)
     (G.in_edges st.g k)
 
 let can_place st k pe =
   if P.is_spe st.platform pe then begin
     let budget = float_of_int (P.spe_memory_budget st.platform) in
-    st.memory.(pe) +. mem_delta st k pe <= budget +. 1e-9
-    && st.dma_in.(pe) + remote_in_edges st k pe <= st.platform.P.max_dma_in
+    Eval.memory_on st.ev pe +. Eval.assign_memory_delta st.ev ~task:k ~pe
+    <= budget +. 1e-9
+    && Eval.dma_in_on st.ev pe + remote_in_edges st k pe
+       <= st.platform.P.max_dma_in
   end
   else
     List.for_all
-      (fun spe -> st.dma_to_ppe.(spe) + 1 <= st.platform.P.max_dma_to_ppe)
+      (fun spe ->
+        Eval.dma_to_ppe_on st.ev spe + 1 <= st.platform.P.max_dma_to_ppe)
       (spe_preds st k pe)
-
-(* Apply/undo a placement; [undo] must mirror [apply] exactly. *)
-let apply st k pe =
-  st.assignment.(k) <- pe;
-  let w = if P.is_ppe st.platform pe then st.w_ppe.(k) else st.w_spe.(k) in
-  st.compute.(pe) <- st.compute.(pe) +. w;
-  let task = G.task st.g k in
-  st.bytes_in.(pe) <- st.bytes_in.(pe) +. task.Streaming.Task.read_bytes;
-  st.bytes_out.(pe) <- st.bytes_out.(pe) +. task.Streaming.Task.write_bytes;
-  if P.is_spe st.platform pe then
-    st.memory.(pe) <- st.memory.(pe) +. mem_delta st k pe;
-  let account e =
-    let src = (G.edge st.g e).G.src in
-    let src_pe = st.assignment.(src) in
-    if src_pe >= 0 && src_pe <> pe then begin
-      let data = (G.edge st.g e).G.data_bytes in
-      st.bytes_out.(src_pe) <- st.bytes_out.(src_pe) +. data;
-      st.bytes_in.(pe) <- st.bytes_in.(pe) +. data;
-      let sc = P.cell_of st.platform src_pe and dc = P.cell_of st.platform pe in
-      if sc <> dc then begin
-        st.link_out.(sc) <- st.link_out.(sc) +. data;
-        st.link_in.(dc) <- st.link_in.(dc) +. data
-      end;
-      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) + 1;
-      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
-        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) + 1
-    end
-  in
-  List.iter account (G.in_edges st.g k)
-
-let undo st k pe =
-  let account e =
-    let src = (G.edge st.g e).G.src in
-    let src_pe = st.assignment.(src) in
-    if src_pe >= 0 && src_pe <> pe then begin
-      let data = (G.edge st.g e).G.data_bytes in
-      st.bytes_out.(src_pe) <- st.bytes_out.(src_pe) -. data;
-      st.bytes_in.(pe) <- st.bytes_in.(pe) -. data;
-      let sc = P.cell_of st.platform src_pe and dc = P.cell_of st.platform pe in
-      if sc <> dc then begin
-        st.link_out.(sc) <- st.link_out.(sc) -. data;
-        st.link_in.(dc) <- st.link_in.(dc) -. data
-      end;
-      if P.is_spe st.platform pe then st.dma_in.(pe) <- st.dma_in.(pe) - 1;
-      if P.is_spe st.platform src_pe && P.is_ppe st.platform pe then
-        st.dma_to_ppe.(src_pe) <- st.dma_to_ppe.(src_pe) - 1
-    end
-  in
-  List.iter account (G.in_edges st.g k);
-  if P.is_spe st.platform pe then begin
-    (* Recompute the same delta [apply] charged: neighbours of [k] other
-       than [k] itself are unchanged, so [mem_delta] is stable as long as
-       [k]'s own assignment is ignored, which it is (no self-loops). *)
-    st.memory.(pe) <- st.memory.(pe) -. mem_delta st k pe
-  end;
-  let task = G.task st.g k in
-  st.bytes_in.(pe) <- st.bytes_in.(pe) -. task.Streaming.Task.read_bytes;
-  st.bytes_out.(pe) <- st.bytes_out.(pe) -. task.Streaming.Task.write_bytes;
-  let w = if P.is_ppe st.platform pe then st.w_ppe.(k) else st.w_spe.(k) in
-  st.compute.(pe) <- st.compute.(pe) -. w;
-  st.assignment.(k) <- -1
-
-(* Max occupation of the resources committed so far. *)
-let assigned_bound st =
-  let n = P.n_pes st.platform in
-  let bw = st.platform.P.bw in
-  let t = ref 0. in
-  for pe = 0 to n - 1 do
-    if st.compute.(pe) > !t then t := st.compute.(pe);
-    let bi = st.bytes_in.(pe) /. bw in
-    if bi > !t then t := bi;
-    let bo = st.bytes_out.(pe) /. bw in
-    if bo > !t then t := bo
-  done;
-  for cell = 0 to st.platform.P.n_cells - 1 do
-    let lo = st.link_out.(cell) /. st.platform.P.inter_cell_bw in
-    if lo > !t then t := lo;
-    let li = st.link_in.(cell) /. st.platform.P.inter_cell_bw in
-    if li > !t then t := li
-  done;
-  !t
 
 let ppe_capacity st t =
   List.fold_left
-    (fun acc pe -> acc +. Float.max 0. (t -. st.compute.(pe)))
+    (fun acc pe -> acc +. Float.max 0. (t -. Eval.compute_on st.ev pe))
     0. (P.ppes st.platform)
 
 (* Shared greedy: remaining tasks hold [amount] units of some SPE-side
@@ -284,7 +167,7 @@ let offload_fits st ~order_by ~amount ~pool ~total ~cap_ppe =
     let nk = Array.length order_by in
     while !removed < deficit && !i < nk do
       let k = order_by.(!i) in
-      if st.assignment.(k) < 0 && st.spe_eligible.(k) && amount k > 0. then begin
+      if Eval.pe_of st.ev k < 0 && st.spe_eligible.(k) && amount k > 0. then begin
         let need = deficit -. !removed in
         if amount k <= need then begin
           removed := !removed +. amount k;
@@ -314,7 +197,7 @@ let divisible_feasible st ~pos t =
   &&
   let cap_spe =
     List.fold_left
-      (fun acc pe -> acc +. Float.max 0. (t -. st.compute.(pe)))
+      (fun acc pe -> acc +. Float.max 0. (t -. Eval.compute_on st.ev pe))
       0. (P.spes st.platform)
   in
   offload_fits st ~order_by:st.by_ratio
@@ -324,7 +207,8 @@ let divisible_feasible st ~pos t =
        let budget = float_of_int (P.spe_memory_budget st.platform) in
        let mem_pool =
          List.fold_left
-           (fun acc pe -> acc +. Float.max 0. (budget -. st.memory.(pe)))
+           (fun acc pe ->
+             acc +. Float.max 0. (budget -. Eval.memory_on st.ev pe))
            0. (P.spes st.platform)
        in
        offload_fits st ~order_by:st.by_mem_ratio
@@ -332,13 +216,15 @@ let divisible_feasible st ~pos t =
          ~pool:mem_pool ~total:st.suffix_mem.(pos) ~cap_ppe
      end
 
-(* Valid lower bound on the completion period of the current node. *)
+(* Valid lower bound on the completion period of the current node; the
+   engine's period over the committed resources is the assigned bound. *)
 let node_bound_exceeds st ~pos ~threshold =
-  assigned_bound st >= threshold || not (divisible_feasible st ~pos threshold)
+  Eval.period st.ev >= threshold
+  || not (divisible_feasible st ~pos threshold)
 
 (* Tight node bound via bisection (used for reporting at the root). *)
 let node_bound st ~pos ~hi =
-  let lo = ref (assigned_bound st) in
+  let lo = ref (Eval.period st.ev) in
   if divisible_feasible st ~pos !lo then !lo
   else begin
     let hi = ref (Float.max hi (2. *. (!lo +. st.suffix_wspe.(pos) +. 1e-9))) in
@@ -355,15 +241,15 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
     platform g =
   let st = make_state ~share:options.share_colocated_buffers platform g in
   let nk = G.n_tasks g in
+  let eval_options =
+    Eval.make_options ~share_colocated_buffers:options.share_colocated_buffers
+      ()
+  in
   let incumbent_mapping =
     match incumbent with
     | Some m ->
-        if
-          not
-            (Steady_state.feasible
-               ~share_colocated_buffers:options.share_colocated_buffers
-               platform g m)
-        then invalid_arg "Mapping_search.solve: incumbent is infeasible";
+        if not (Eval.scratch_feasible ~options:eval_options platform g m) then
+          invalid_arg "Mapping_search.solve: incumbent is infeasible";
         m
     | None -> (
         match
@@ -375,11 +261,7 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
   in
   let best = ref (Mapping.to_array incumbent_mapping) in
   let best_period =
-    ref
-      (Steady_state.period platform
-         (Steady_state.loads
-            ~share_colocated_buffers:options.share_colocated_buffers platform g
-            incumbent_mapping))
+    ref (Eval.scratch_period ~options:eval_options platform g incumbent_mapping)
   in
   let nodes = ref 0 in
   let deadline = Unix.gettimeofday () +. options.time_limit in
@@ -392,10 +274,10 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
       raise Limit_hit;
     if !nodes >= options.max_nodes then raise Limit_hit;
     if pos = nk then begin
-      let t = assigned_bound st in
+      let t = Eval.period st.ev in
       if t < !best_period -. 1e-12 then begin
         best_period := t;
-        best := Array.copy st.assignment
+        best := Array.init nk (fun k -> Eval.pe_of st.ev k)
       end
     end
     else begin
@@ -410,7 +292,7 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
       (* Promising children first: smallest resulting compute load. *)
       let key pe =
         let w = if P.is_ppe platform pe then st.w_ppe.(k) else st.w_spe.(k) in
-        st.compute.(pe) +. w
+        Eval.compute_on st.ev pe +. w
       in
       let candidates = List.sort (fun a b -> compare (key a) (key b)) candidates in
       let visit pe =
@@ -422,11 +304,11 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
             && pe = spes.(st.used_spes)
           then
             st.used_spes <- st.used_spes + 1;
-          apply st k pe;
+          Eval.assign st.ev ~task:k ~pe;
           let threshold = !best_period *. (1. -. options.rel_gap) in
           if not (node_bound_exceeds st ~pos:(pos + 1) ~threshold) then
             explore (pos + 1);
-          undo st k pe;
+          Eval.unassign st.ev ~task:k;
           st.used_spes <- was_used
         end
       in

@@ -37,8 +37,9 @@ let predicted_throughput r = r.throughput
 
 let finish ~share ~start ~platform ~g ~mapping ~lower_bound ~proven ~nodes =
   let period =
-    Steady_state.period platform
-      (Steady_state.loads ~share_colocated_buffers:share platform g mapping)
+    Eval.scratch_period
+      ~options:(Eval.make_options ~share_colocated_buffers:share ())
+      platform g mapping
   in
   let lower_bound = Float.min lower_bound period in
   {
@@ -88,7 +89,7 @@ let solve_exact ~options ~start platform g incumbent =
         in
         (* The MILP constraints imply feasibility, but double-check (and
            fall back to the incumbent) to stay safe against numerics. *)
-        if Steady_state.feasible platform g m then
+        if Eval.scratch_feasible platform g m then
           (m, outcome.Lp.Branch_bound.status = Lp.Branch_bound.Optimal)
         else (incumbent, false)
     | None -> (incumbent, false)
@@ -144,9 +145,11 @@ let solve_search ~options ~start platform g incumbent =
   let mapping = Heuristics.local_search platform g r.Mapping_search.mapping in
   let mapping =
     let model_period m =
-      Steady_state.period platform
-        (Steady_state.loads
-           ~share_colocated_buffers:options.share_colocated_buffers platform g m)
+      Eval.scratch_period
+        ~options:
+          (Eval.make_options
+             ~share_colocated_buffers:options.share_colocated_buffers ())
+        platform g m
     in
     if model_period mapping < model_period r.Mapping_search.mapping then mapping
     else r.Mapping_search.mapping

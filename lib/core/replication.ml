@@ -133,34 +133,7 @@ let throughput platform g t =
   let p = period platform g t in
   if p <= 0. then infinity else 1. /. p
 
+(* The constraint checks are the single shared code path in
+   Steady_state — only the load model (replica flows) differs here. *)
 let violations platform g t =
-  let l = loads platform g t in
-  let budget = float_of_int (P.spe_memory_budget platform) in
-  let check pe acc =
-    if not (P.is_spe platform pe) then acc
-    else begin
-      let acc =
-        if l.Steady_state.memory.(pe) > budget then
-          Steady_state.Memory { pe; used = l.Steady_state.memory.(pe); budget }
-          :: acc
-        else acc
-      in
-      let acc =
-        if l.Steady_state.dma_in.(pe) > platform.P.max_dma_in then
-          Steady_state.Dma_in
-            { pe; used = l.Steady_state.dma_in.(pe); limit = platform.P.max_dma_in }
-          :: acc
-        else acc
-      in
-      if l.Steady_state.dma_to_ppe.(pe) > platform.P.max_dma_to_ppe then
-        Steady_state.Dma_to_ppe
-          {
-            pe;
-            used = l.Steady_state.dma_to_ppe.(pe);
-            limit = platform.P.max_dma_to_ppe;
-          }
-        :: acc
-      else acc
-    end
-  in
-  List.fold_right check (List.init (P.n_pes platform) Fun.id) []
+  Steady_state.violations_of_loads platform (loads platform g t)

@@ -151,8 +151,7 @@ type violation =
   | Dma_in of { pe : int; used : int; limit : int }
   | Dma_to_ppe of { pe : int; used : int; limit : int }
 
-let violations ?share_colocated_buffers ?tight_pipeline platform g mapping =
-  let l = loads ?share_colocated_buffers ?tight_pipeline platform g mapping in
+let violations_of_loads platform l =
   let budget = float_of_int (P.spe_memory_budget platform) in
   let check pe acc =
     if not (P.is_spe platform pe) then acc
@@ -176,6 +175,10 @@ let violations ?share_colocated_buffers ?tight_pipeline platform g mapping =
     end
   in
   List.fold_right check (List.init (P.n_pes platform) Fun.id) []
+
+let violations ?share_colocated_buffers ?tight_pipeline platform g mapping =
+  violations_of_loads platform
+    (loads ?share_colocated_buffers ?tight_pipeline platform g mapping)
 
 let feasible ?share_colocated_buffers ?tight_pipeline platform g mapping =
   violations ?share_colocated_buffers ?tight_pipeline platform g mapping = []

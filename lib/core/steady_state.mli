@@ -100,6 +100,11 @@ val violations :
   Mapping.t ->
   violation list
 
+val violations_of_loads : Cell.Platform.t -> loads -> violation list
+(** The constraint checks of {!violations} applied to an already-computed
+    resource state — the single code path shared by {!violations}, the
+    replication analysis and the incremental {!Eval} engine. *)
+
 val feasible :
   ?share_colocated_buffers:bool ->
   ?tight_pipeline:bool ->

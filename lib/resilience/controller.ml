@@ -152,7 +152,8 @@ let migration options g buffers cur_mapping survivors old_to_new new_mapping =
   done;
   (!moved, !bytes)
 
-let period_of platform g mapping = SS.period platform (SS.loads platform g mapping)
+let period_of platform g mapping =
+  Cellsched.Eval.period (Cellsched.Eval.create platform g mapping)
 
 let run ?(options = default_options) ?trace ~faults platform g mapping
     ~instances =

@@ -1,0 +1,275 @@
+(* Tests for the incremental evaluation engine: bitwise agreement with
+   the from-scratch Steady_state analysis after arbitrary move/swap
+   replays, undo/probe purity, and the heuristics' repaired to-PPE DMA
+   blind spot. *)
+
+module P = Cell.Platform
+module G = Streaming.Graph
+module SS = Cellsched.Steady_state
+module E = Cellsched.Eval
+
+(* --- exact (bitwise) float comparison ----------------------------------- *)
+
+let bits_eq_arrays name a b =
+  if Array.length a <> Array.length b then
+    QCheck.Test.fail_reportf "%s: length %d vs %d" name (Array.length a)
+      (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        QCheck.Test.fail_reportf "%s.(%d): %.17g vs %.17g" name i x b.(i))
+    a
+
+let check_loads_equal (el : SS.loads) (sl : SS.loads) =
+  bits_eq_arrays "compute" el.SS.compute sl.SS.compute;
+  bits_eq_arrays "bytes_in" el.SS.bytes_in sl.SS.bytes_in;
+  bits_eq_arrays "bytes_out" el.SS.bytes_out sl.SS.bytes_out;
+  bits_eq_arrays "memory" el.SS.memory sl.SS.memory;
+  bits_eq_arrays "link_out" el.SS.link_out sl.SS.link_out;
+  bits_eq_arrays "link_in" el.SS.link_in sl.SS.link_in;
+  if el.SS.dma_in <> sl.SS.dma_in then
+    QCheck.Test.fail_reportf "dma_in differs";
+  if el.SS.dma_to_ppe <> sl.SS.dma_to_ppe then
+    QCheck.Test.fail_reportf "dma_to_ppe differs"
+
+(* --- random instances ---------------------------------------------------- *)
+
+let random_graph rng n =
+  Daggen.Generator.generate ~rng
+    ~shape:{ Daggen.Generator.n; fat = 0.5; density = 0.4; regularity = 0.5; jump = 2 }
+    ~costs:Daggen.Generator.default_costs
+
+(* A quarter of the cases run on a dual-Cell platform so the inter-Cell
+   link rows (recomputed wholesale on colocation changes) are exercised. *)
+let random_platform rng =
+  if Support.Rng.int rng 4 = 0 then
+    P.make ~n_ppe:2 ~n_spe:6 ~n_cells:2 ()
+  else P.make ~n_ppe:1 ~n_spe:4 ()
+
+let random_mapping rng platform g =
+  let n = P.n_pes platform in
+  Cellsched.Mapping.make platform g
+    (Array.init (G.n_tasks g) (fun _ -> Support.Rng.int rng n))
+
+(* Random move/swap replay through the journaled mutations. *)
+let replay rng ev nops =
+  let g = E.graph ev in
+  let nk = G.n_tasks g in
+  let npes = P.n_pes (E.platform ev) in
+  for _ = 1 to nops do
+    if Support.Rng.int rng 3 = 0 && nk >= 2 then begin
+      let k1 = Support.Rng.int rng nk and k2 = Support.Rng.int rng nk in
+      if k1 <> k2 then E.apply_swap ev k1 k2
+    end
+    else
+      E.apply_move ev
+        ~task:(Support.Rng.int rng nk)
+        ~pe:(Support.Rng.int rng npes)
+  done
+
+(* --- the replay property -------------------------------------------------
+
+   For every option combination: after a random sequence of moves and
+   swaps, the engine's loads / period / violations are bitwise equal to a
+   from-scratch Steady_state evaluation of the final mapping; undoing the
+   whole journal restores the initial state bitwise. 4 combos x 60 cases
+   = 240 random graphs. *)
+
+let replay_case ~share ~tight (seed, n) =
+  (* The qcheck shrinker can wander below the generator's range. *)
+  let n = max 5 n and seed = abs seed in
+  let salt = (if share then 1_000_000 else 0) + if tight then 2_000_000 else 0 in
+  let rng = Support.Rng.create (seed + salt) in
+  let platform = random_platform rng in
+  let g = random_graph rng n in
+  let m0 = random_mapping rng platform g in
+  let options =
+    E.make_options ~share_colocated_buffers:share ~tight_pipeline:tight ()
+  in
+  let scratch m =
+    SS.loads ~share_colocated_buffers:share ~tight_pipeline:tight platform g m
+  in
+  let ev = E.create ~options platform g m0 in
+  replay rng ev (5 + Support.Rng.int rng 30);
+  let m = E.mapping ev in
+  let sl = scratch m in
+  check_loads_equal (E.loads ev) sl;
+  if Int64.bits_of_float (E.period ev)
+     <> Int64.bits_of_float (SS.period platform sl)
+  then QCheck.Test.fail_reportf "period differs";
+  if
+    E.violations ev
+    <> SS.violations ~share_colocated_buffers:share ~tight_pipeline:tight
+         platform g m
+  then QCheck.Test.fail_reportf "violations differ";
+  if E.feasible ev <> (SS.violations_of_loads platform sl = []) then
+    QCheck.Test.fail_reportf "feasible differs";
+  (* Undo the full journal: bitwise back to the initial state. *)
+  while E.undo_depth ev > 0 do
+    E.undo ev
+  done;
+  check_loads_equal (E.loads ev) (scratch m0);
+  true
+
+let replay_matches_scratch ~share ~tight =
+  QCheck.Test.make ~count:60
+    ~name:
+      (Printf.sprintf "replay = scratch (share=%b, tight=%b)" share tight)
+    QCheck.(pair (int_bound 100_000) (int_range 5 20))
+    (replay_case ~share ~tight)
+
+(* --- probe purity -------------------------------------------------------- *)
+
+let probe_is_pure =
+  QCheck.Test.make ~count:40 ~name:"probe_move/probe_swap leave no trace"
+    QCheck.(pair (int_bound 100_000) (int_range 5 15))
+    (fun (seed, n) ->
+      let n = max 5 n and seed = abs seed in
+      let rng = Support.Rng.create (seed + 7_000_000) in
+      let platform = random_platform rng in
+      let g = random_graph rng n in
+      let m0 = random_mapping rng platform g in
+      let ev = E.create platform g m0 in
+      let before = E.loads ev in
+      let nk = G.n_tasks g and npes = P.n_pes platform in
+      for _ = 1 to 20 do
+        let k = Support.Rng.int rng nk in
+        let pe = Support.Rng.int rng npes in
+        let t, feas = E.probe_move ev ~task:k ~pe in
+        (* The probed value is the scratch period of the mutated mapping. *)
+        let arr = Cellsched.Mapping.to_array (E.mapping ev) in
+        arr.(k) <- pe;
+        let m' = Cellsched.Mapping.make platform g arr in
+        let sl = SS.loads platform g m' in
+        if Int64.bits_of_float t <> Int64.bits_of_float (SS.period platform sl)
+        then QCheck.Test.fail_reportf "probe_move period differs";
+        if feas <> (SS.violations_of_loads platform sl = []) then
+          QCheck.Test.fail_reportf "probe_move feasibility differs";
+        let k2 = Support.Rng.int rng nk in
+        if k2 <> k then ignore (E.probe_swap ev k k2)
+      done;
+      check_loads_equal (E.loads ev) before;
+      if E.undo_depth ev <> 0 then
+        QCheck.Test.fail_reportf "probe left journal entries";
+      true)
+
+(* --- the heuristics' to-PPE DMA blind spot -------------------------------
+
+   One SPE, a tight to-PPE DMA queue (2 slots), and a fan-out source S
+   whose consumers carry buffers too large for the local store. The
+   consumers are forced onto the PPE; if S stays on the SPE it needs one
+   to-PPE slot per consumer (4 > 2). The old incremental bookkeeping
+   documented this overflow as a known blind spot; the engine-backed
+   heuristics must repair it (move S to the PPE) before returning. *)
+
+let blind_spot_graph () =
+  let mk ?(read = 0.) ?(write = 0.) name =
+    Streaming.Task.make ~name ~w_ppe:1e-3 ~w_spe:1e-3 ~read_bytes:read
+      ~write_bytes:write ()
+  in
+  let tasks =
+    Array.init 9 (fun i ->
+        if i = 0 then mk "S"
+        else if i <= 4 then mk (Printf.sprintf "C%d" i)
+        else mk (Printf.sprintf "Z%d" (i - 4)))
+  in
+  let small = 1024. and huge = 100_000. in
+  let edges =
+    List.init 4 (fun i -> (0, i + 1, small))
+    @ List.init 4 (fun i -> (i + 1, i + 5, huge))
+  in
+  G.of_tasks tasks edges
+
+let test_no_dma_to_ppe_violation () =
+  let platform =
+    P.make ~n_ppe:1 ~n_spe:1 ~max_dma_to_ppe:2 ~local_store:100_000
+      ~code_size:0 ()
+  in
+  let g = blind_spot_graph () in
+  let has_dma_to_ppe m =
+    List.exists
+      (function SS.Dma_to_ppe _ -> true | _ -> false)
+      (SS.violations platform g m)
+  in
+  let strategies =
+    [
+      ("greedy-mem", Cellsched.Heuristics.greedy_mem);
+      ("greedy-cpu", Cellsched.Heuristics.greedy_cpu);
+      ("density-pack", Cellsched.Heuristics.density_pack);
+      ("lp-round", Cellsched.Heuristics.lp_rounding ~improve:false);
+    ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let m = strategy platform g in
+      Alcotest.(check bool)
+        (name ^ " returns no to-PPE DMA violation")
+        false (has_dma_to_ppe m))
+    strategies
+
+(* The repair is not vacuous: on this instance the unrepaired greedy
+   choice (S on the SPE, consumers forced to the PPE) does overflow. *)
+let test_blind_spot_is_real () =
+  let platform =
+    P.make ~n_ppe:1 ~n_spe:1 ~max_dma_to_ppe:2 ~local_store:100_000
+      ~code_size:0 ()
+  in
+  let g = blind_spot_graph () in
+  let unrepaired =
+    Cellsched.Mapping.make platform g [| 1; 0; 0; 0; 0; 0; 0; 0; 0 |]
+  in
+  Alcotest.(check bool) "naive placement overflows" true
+    (List.exists
+       (function SS.Dma_to_ppe _ -> true | _ -> false)
+       (SS.violations platform g unrepaired))
+
+(* --- partial assignments match the branch-and-bound expectations -------- *)
+
+let test_partial_assignment_consistency () =
+  let platform = P.make ~n_ppe:1 ~n_spe:2 () in
+  let rng = Support.Rng.create 12345 in
+  let g = random_graph rng 8 in
+  let ev = E.create_empty platform g in
+  Alcotest.(check int) "nothing assigned" 0 (E.n_assigned ev);
+  Alcotest.(check (float 0.)) "empty period" 0. (E.period ev);
+  (* Assign everything in topological order; the complete state coincides
+     with scratch. *)
+  let order = G.topological_order g in
+  Array.iter (fun k -> E.assign ev ~task:k ~pe:(k mod P.n_pes platform)) order;
+  let m = E.mapping ev in
+  check_loads_equal (E.loads ev) (SS.loads platform g m);
+  (* Unassign half and reassign elsewhere: still consistent. *)
+  for k = 0 to (G.n_tasks g / 2) - 1 do
+    E.unassign ev ~task:k
+  done;
+  for k = 0 to (G.n_tasks g / 2) - 1 do
+    E.assign ev ~task:k ~pe:((k + 1) mod P.n_pes platform)
+  done;
+  let m' = E.mapping ev in
+  check_loads_equal (E.loads ev) (SS.loads platform g m')
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "eval"
+    [
+      ( "replay",
+        [
+          qt (replay_matches_scratch ~share:false ~tight:false);
+          qt (replay_matches_scratch ~share:true ~tight:false);
+          qt (replay_matches_scratch ~share:false ~tight:true);
+          qt (replay_matches_scratch ~share:true ~tight:true);
+        ] );
+      ("probe", [ qt probe_is_pure ]);
+      ( "blind-spot",
+        [
+          Alcotest.test_case "heuristics repair to-PPE overflow" `Quick
+            test_no_dma_to_ppe_violation;
+          Alcotest.test_case "unrepaired placement overflows" `Quick
+            test_blind_spot_is_real;
+        ] );
+      ( "partial",
+        [
+          Alcotest.test_case "assign/unassign consistency" `Quick
+            test_partial_assignment_consistency;
+        ] );
+    ]

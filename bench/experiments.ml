@@ -601,6 +601,74 @@ let time_of f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Instrumentation-overhead baseline for the observability layer: the
+   engine local search on the largest preset with the metrics registry
+   off vs on. Every hook is a single branch when off, so the gap must
+   stay within noise (<2% target). The metrics-on reruns also populate
+   the search_* counter families; the resulting registry snapshot lands
+   in BENCH_obs.json alongside the timings. *)
+let search_obs platform =
+  print_endline "== Observability overhead: metrics registry off vs on ==";
+  let name, g =
+    List.fold_left
+      (fun (bn, bg) (n, g) ->
+        if G.n_tasks g > G.n_tasks bg then (n, g) else (bn, bg))
+      (List.hd (graphs ()))
+      (List.tl (graphs ()))
+  in
+  let start =
+    match
+      H.best_feasible platform g
+        (H.standard_candidates ~with_lp:false platform g)
+    with
+    | Some (_, m) -> m
+    | None -> H.ppe_only platform g
+  in
+  let min_of_3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let _, t = time_of f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let ls () = ignore (H.local_search platform g start) in
+  Obs.Metrics.set_enabled false;
+  let t_off = min_of_3 ls in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset Obs.Metrics.default;
+  let t_on = min_of_3 ls in
+  (* The harness's own timings go through the same registry. *)
+  let timing state =
+    Obs.Metrics.histogram_family
+      ~help:"Engine local-search wall time by instrumentation state"
+      "bench_local_search_seconds" ~labels:[ "metrics" ] [ state ]
+  in
+  Obs.Metrics.Histogram.observe (timing "off") t_off;
+  Obs.Metrics.Histogram.observe (timing "on") t_on;
+  let overhead_pct = (t_on -. t_off) /. t_off *. 100. in
+  Printf.printf
+    "graph %s: engine ls %.4f s (metrics off) vs %.4f s (on): %+.2f%%\n" name
+    t_off t_on overhead_pct;
+  if overhead_pct > 2. then
+    print_endline "WARNING: instrumentation overhead above the 2% target";
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"obs_overhead\",\n\
+    \  \"graph\": %S,\n\
+    \  \"tasks\": %d,\n\
+    \  \"engine_ls_metrics_off_s\": %.6f,\n\
+    \  \"engine_ls_metrics_on_s\": %.6f,\n\
+    \  \"overhead_pct\": %.3f,\n\
+    \  \"registry\": %s\n\
+     }\n"
+    name (G.n_tasks g) t_off t_on overhead_pct
+    (Obs.Metrics.to_json Obs.Metrics.default);
+  close_out oc;
+  Obs.Metrics.set_enabled false;
+  print_endline "wrote BENCH_obs.json"
+
 let search () =
   print_endline "== Search micro-benchmark: incremental engine vs scratch ==";
   print_endline
@@ -674,4 +742,5 @@ let search () =
   if not !ok_94 then
     print_endline
       "WARNING: engine local search under 2x (or diverged) on the 94-task preset";
+  search_obs platform;
   print_newline ()

@@ -8,7 +8,14 @@
      compare    run every strategy side by side on one graph
      schedule   print the periodic steady-state schedule
      faults     inject faults and recover online by remapping
-     dot        export a graph to Graphviz *)
+     obs        map + simulate with metrics on, dump the registry
+     dot        export a graph to Graphviz
+
+   map, simulate and faults accept --metrics FILE to dump the metrics
+   registry (JSON, or Prometheus text for .prom files); simulate also
+   exports Chrome trace JSON (--trace-json) and the throughput ramp-up
+   curve (--rampup-csv). File-writing options refuse to overwrite
+   existing files unless --force is given. *)
 
 open Cmdliner
 
@@ -86,6 +93,45 @@ let report_mapping platform g mapping =
     (Cellsched.Steady_state.pp_resource platform)
     resource (time *. 1e3)
 
+(* --- observability plumbing ----------------------------------------------- *)
+
+let force_arg =
+  let doc = "Overwrite output files that already exist." in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry and dump it to $(docv) after the run \
+     (JSON, or Prometheus text exposition when $(docv) ends in .prom)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Output files refuse to clobber unless --force was given. *)
+let write_file ~force path contents =
+  if (not force) && Sys.file_exists path then begin
+    Printf.eprintf
+      "cellsched: %s exists, not overwriting (pass --force to replace)\n" path;
+    exit 2
+  end;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  Printf.printf "wrote %s\n" path
+
+let enable_metrics = function
+  | None -> ()
+  | Some _ -> Obs.Metrics.set_enabled true
+
+let dump_metrics ~force = function
+  | None -> ()
+  | Some path ->
+      let render =
+        if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus
+        else Obs.Metrics.to_json
+      in
+      write_file ~force path (render Obs.Metrics.default)
+
 (* --- generate ------------------------------------------------------------ *)
 
 let generate_cmd =
@@ -153,58 +199,88 @@ let info_cmd =
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run path n_spe strategy gap time_limit =
+  let run path n_spe strategy gap time_limit metrics force =
+    enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
     let mapping = compute_mapping strategy ~gap ~time_limit platform g in
     report_mapping platform g mapping;
+    dump_metrics ~force metrics;
     0
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Compute a mapping of a graph onto the Cell")
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
-      $ time_limit_arg)
+      $ time_limit_arg $ metrics_arg $ force_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run path n_spe strategy gap time_limit instances gantt svg =
+  let run path n_spe strategy gap time_limit instances gantt svg trace_json
+      rampup_csv metrics force =
+    enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
     let mapping = compute_mapping strategy ~gap ~time_limit platform g in
     report_mapping platform g mapping;
     let trace =
-      if gantt || svg <> None then Some (Simulator.Trace.create ()) else None
+      if gantt || svg <> None || trace_json <> None then
+        Some (Simulator.Trace.create ())
+      else None
     in
-    let metrics = Simulator.Runtime.run ?trace platform g mapping ~instances in
+    (* The runtime stamps events with simulated time, so the sink clock is
+       irrelevant; a fake clock keeps the output reproducible. *)
+    let sink =
+      if trace_json <> None then
+        Obs.Events.ring ~clock:(Obs.Events.Clock.fake ()) ()
+      else Obs.Events.null
+    in
+    let m = Simulator.Runtime.run ?trace ~sink platform g mapping ~instances in
     Format.printf
       "simulated %d instances in %.3f s@.steady throughput: %.2f instances/s@.transfers: %d (%.1f kB)@."
-      metrics.Simulator.Runtime.instances metrics.Simulator.Runtime.makespan
-      metrics.Simulator.Runtime.steady_throughput
-      metrics.Simulator.Runtime.transfers
-      (metrics.Simulator.Runtime.bytes_transferred /. 1024.);
+      m.Simulator.Runtime.instances m.Simulator.Runtime.makespan
+      m.Simulator.Runtime.steady_throughput m.Simulator.Runtime.transfers
+      (m.Simulator.Runtime.bytes_transferred /. 1024.);
+    (match rampup_csv with
+    | None -> ()
+    | Some file ->
+        (* Throughput ramp-up towards the steady-state plateau (the curve
+           of the paper's Fig. 6), as data. *)
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf "instances,time_s,throughput_per_s\n";
+        List.iter
+          (fun (i, tput) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d,%.9g,%.9g\n" i
+                 m.Simulator.Runtime.completion_times.(i - 1)
+                 tput))
+          (Simulator.Runtime.throughput_curve m ~points:100);
+        write_file ~force file (Buffer.contents buf));
     (match trace with
     | None -> ()
     | Some trace ->
         (* Show the steady-state regime: a window in the middle. *)
-        let mid = metrics.Simulator.Runtime.makespan /. 2. in
-        let span = metrics.Simulator.Runtime.makespan /. 50. in
+        let mid = m.Simulator.Runtime.makespan /. 2. in
+        let span = m.Simulator.Runtime.makespan /. 50. in
         if gantt then
           print_string
             (Simulator.Trace.gantt ~from_time:mid ~to_time:(mid +. span)
                platform trace);
-        match svg with
+        (match svg with
         | Some file ->
-            let oc = open_out file in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc
-                  (Simulator.Trace.to_svg ~from_time:mid ~to_time:(mid +. span)
-                     platform trace));
-            Printf.printf "wrote %s\n" file
+            write_file ~force file
+              (Simulator.Trace.to_svg ~from_time:mid ~to_time:(mid +. span)
+                 platform trace)
         | None -> ());
+        match trace_json with
+        | Some file ->
+            write_file ~force file
+              (Simulator.Trace.to_chrome
+                 ~extra:(Obs.Events.events sink)
+                 platform trace)
+        | None -> ());
+    dump_metrics ~force metrics;
     0
   in
   let instances =
@@ -216,11 +292,31 @@ let simulate_cmd =
   let svg =
     Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Write an SVG Gantt chart to this file.")
   in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full run as Chrome trace_event JSON (open in \
+             chrome://tracing or Perfetto): one lane per PE plus DMA-queue, \
+             buffer-occupancy and throughput counter tracks.")
+  in
+  let rampup_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rampup-csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the cumulative-throughput ramp-up timeseries \
+             (instances,time,throughput) as CSV.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a mapped stream on the Cell")
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
-      $ time_limit_arg $ instances $ gantt $ svg)
+      $ time_limit_arg $ instances $ gantt $ svg $ trace_json $ rampup_csv
+      $ metrics_arg $ force_arg)
 
 (* --- schedule --------------------------------------------------------------- *)
 
@@ -370,7 +466,9 @@ let report_json platform (report : Resilience.Controller.report) =
 let faults_cmd =
   let module C = Resilience.Controller in
   let run path n_spe strategy gap time_limit instances fails slowdowns degrades
-      random fault_seed horizon policy window threshold gantt svg json =
+      random fault_seed horizon policy window threshold gantt svg json metrics
+      force =
+    enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
     let mapping = compute_mapping strategy ~gap ~time_limit platform g in
@@ -450,14 +548,10 @@ let faults_cmd =
           print_string (Simulator.Trace.gantt ~from_time ~to_time platform trace);
         match svg with
         | Some file ->
-            let oc = open_out file in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc
-                  (Simulator.Trace.to_svg ~from_time ~to_time platform trace));
-            Printf.printf "wrote %s\n" file
+            write_file ~force file
+              (Simulator.Trace.to_svg ~from_time ~to_time platform trace)
         | None -> ());
+    dump_metrics ~force metrics;
     if report.C.recovered then 0 else 1
   in
   let instances =
@@ -538,7 +632,44 @@ let faults_cmd =
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
       $ time_limit_arg $ instances $ fails $ slowdowns $ degrades $ random
       $ fault_seed $ horizon $ policy $ window $ threshold $ gantt $ svg
-      $ json)
+      $ json $ metrics_arg $ force_arg)
+
+(* --- obs -------------------------------------------------------------------- *)
+
+let obs_cmd =
+  let run path n_spe strategy gap time_limit instances format =
+    (* One instrumented map + simulate pass; the registry goes to stdout. *)
+    Obs.Metrics.set_enabled true;
+    let g = load_graph path in
+    let platform = platform_of n_spe in
+    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    let _ = Simulator.Runtime.run platform g mapping ~instances in
+    let render =
+      match format with
+      | `Json -> Obs.Metrics.to_json
+      | `Prom -> Obs.Metrics.to_prometheus
+    in
+    print_string (render Obs.Metrics.default);
+    print_newline ();
+    0
+  in
+  let instances =
+    Arg.(value & opt int 2000 & info [ "instances"; "n" ] ~doc:"Stream length.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("prometheus", `Prom) ]) `Json
+      & info [ "format" ] ~doc:"Registry output format: json, prometheus.")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Map and simulate a graph with every metric enabled, then dump the \
+          whole registry (solver, search, simulator families) to stdout")
+    Term.(
+      const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
+      $ time_limit_arg $ instances $ format)
 
 (* --- dot -------------------------------------------------------------------- *)
 
@@ -573,5 +704,6 @@ let () =
             schedule_cmd;
             compare_cmd;
             faults_cmd;
+            obs_cmd;
             dot_cmd;
           ]))

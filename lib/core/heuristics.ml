@@ -176,6 +176,23 @@ let random ~rng platform g =
   Mapping.make platform g
     (Array.init (G.n_tasks g) (fun _ -> Support.Rng.int rng n))
 
+(* Default-off observability hooks: local-search acceptance counters
+   (probe counts live in Eval). *)
+let m_ls_passes =
+  lazy
+    (Obs.Metrics.counter ~help:"Local-search improvement passes"
+       "search_ls_passes_total")
+
+let m_ls_moves =
+  lazy
+    (Obs.Metrics.counter ~help:"Local-search single-task moves accepted"
+       "search_ls_moves_accepted_total")
+
+let m_ls_swaps =
+  lazy
+    (Obs.Metrics.counter ~help:"Local-search pairwise swaps accepted"
+       "search_ls_swaps_accepted_total")
+
 let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
     mapping =
   let ev = Eval.create ~options platform g mapping in
@@ -183,9 +200,11 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
   let best_period = ref (Eval.period ev) in
   let improved = ref true in
   let passes = ref 0 in
+  let obs = Obs.Metrics.enabled () in
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
+    if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_passes);
     (* Single-task moves, probed through the engine in O(degree) each. *)
     for k = 0 to G.n_tasks g - 1 do
       let home = Eval.pe_of ev k in
@@ -202,6 +221,7 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
       match !best_move with
       | Some pe ->
           improved := true;
+          if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_moves);
           Eval.apply_move ev ~task:k ~pe
       | None -> ()
     done;
@@ -214,6 +234,7 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
           if feas && t < !best_period -. 1e-12 then begin
             best_period := t;
             improved := true;
+            if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_swaps);
             Eval.apply_swap ev k1 k2
           end
         end

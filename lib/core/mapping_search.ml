@@ -237,6 +237,24 @@ let node_bound st ~pos ~hi =
 
 exception Limit_hit
 
+(* Default-off observability hooks: per-solve totals, flushed once at
+   the end so the node recursion pays only local ref bumps. *)
+let m_nodes =
+  lazy
+    (Obs.Metrics.counter ~help:"Mapping branch-and-bound nodes explored"
+       "search_bb_nodes_total")
+
+let m_pruned =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"Mapping branch-and-bound children cut by the divisible bound"
+       "search_bb_pruned_total")
+
+let m_incumbents =
+  lazy
+    (Obs.Metrics.counter ~help:"Mapping branch-and-bound incumbent improvements"
+       "search_bb_incumbents_total")
+
 let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
     platform g =
   let st = make_state ~share:options.share_colocated_buffers platform g in
@@ -264,6 +282,8 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
     ref (Eval.scratch_period ~options:eval_options platform g incumbent_mapping)
   in
   let nodes = ref 0 in
+  let pruned = ref 0 in
+  let incumbents = ref 0 in
   let deadline = Unix.gettimeofday () +. options.time_limit in
   let root_bound = node_bound st ~pos:0 ~hi:!best_period in
   let root_bound = Float.max root_bound extra_lower_bound in
@@ -277,6 +297,7 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
       let t = Eval.period st.ev in
       if t < !best_period -. 1e-12 then begin
         best_period := t;
+        incr incumbents;
         best := Array.init nk (fun k -> Eval.pe_of st.ev k)
       end
     end
@@ -306,8 +327,8 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
             st.used_spes <- st.used_spes + 1;
           Eval.assign st.ev ~task:k ~pe;
           let threshold = !best_period *. (1. -. options.rel_gap) in
-          if not (node_bound_exceeds st ~pos:(pos + 1) ~threshold) then
-            explore (pos + 1);
+          if node_bound_exceeds st ~pos:(pos + 1) ~threshold then incr pruned
+          else explore (pos + 1);
           Eval.unassign st.ev ~task:k;
           st.used_spes <- was_used
         end
@@ -321,6 +342,11 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
       true
     with Limit_hit -> false
   in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.Counter.add (Lazy.force m_nodes) !nodes;
+    Obs.Metrics.Counter.add (Lazy.force m_pruned) !pruned;
+    Obs.Metrics.Counter.add (Lazy.force m_incumbents) !incumbents
+  end;
   let mapping = Mapping.make platform g !best in
   let period = !best_period in
   let lower_bound =

@@ -18,6 +18,28 @@ type outcome = {
   gap : float;
 }
 
+(* Default-off observability hooks: totals flushed once per solve so the
+   node loop pays nothing beyond three local counters. *)
+let m_nodes =
+  lazy
+    (Obs.Metrics.counter ~help:"Branch-and-bound nodes explored"
+       "lp_bb_nodes_total")
+
+let m_pruned =
+  lazy
+    (Obs.Metrics.counter ~help:"Nodes pruned against the incumbent bound"
+       "lp_bb_pruned_total")
+
+let m_incumbents =
+  lazy
+    (Obs.Metrics.counter ~help:"Incumbent improvements accepted"
+       "lp_bb_incumbents_total")
+
+let m_gap =
+  lazy
+    (Obs.Metrics.gauge ~help:"Relative gap of the last MILP solve"
+       "lp_bb_last_gap")
+
 (* A node is a set of tightened bounds plus the bound inherited from its
    parent's relaxation (a valid lower bound on every leaf below it). *)
 type node = { nlb : float array; nub : float array; nbound : float }
@@ -60,13 +82,16 @@ let solve ?(options = default_options) ?warm_start problem =
   let incumbent = ref None in
   let incumbent_obj = ref infinity (* internal sense *) in
   let nodes = ref 0 in
+  let pruned = ref 0 in
+  let incumbents = ref 0 in
   let open_nodes = Node_heap.create () in
   (* Try to install a solution as incumbent. *)
   let offer (sol : Simplex.solution) =
     let obj = to_internal sol.objective in
     if obj < !incumbent_obj -. 1e-12 then begin
       incumbent_obj := obj;
-      incumbent := Some sol
+      incumbent := Some sol;
+      incr incumbents
     end
   in
   (* Seed the incumbent from a warm start by fixing integer variables. *)
@@ -96,6 +121,13 @@ let solve ?(options = default_options) ?warm_start problem =
   in
   let finish status bound =
     let gap = relative_gap ~incumbent:!incumbent_obj ~bound in
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.Counter.add (Lazy.force m_nodes) !nodes;
+      Obs.Metrics.Counter.add (Lazy.force m_pruned) !pruned;
+      Obs.Metrics.Counter.add (Lazy.force m_incumbents) !incumbents;
+      Obs.Metrics.Gauge.set (Lazy.force m_gap)
+        (if gap = infinity then Float.nan else gap)
+    end;
     {
       status;
       best = Option.map (fun (s : Simplex.solution) -> s) !incumbent;
@@ -131,7 +163,8 @@ let solve ?(options = default_options) ?warm_start problem =
            end;
            incr nodes;
            (* Prune against the incumbent. *)
-           if node.nbound < !incumbent_obj -. 1e-12 then begin
+           if node.nbound >= !incumbent_obj -. 1e-12 then incr pruned
+           else begin
              match Simplex.solve ~lb:node.nlb ~ub:node.nub problem with
              | Simplex.Infeasible -> ()
              | Simplex.Unbounded ->

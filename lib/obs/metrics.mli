@@ -1,0 +1,130 @@
+(** Zero-dependency metrics registry.
+
+    Counters, gauges and fixed-bucket histograms, optionally grouped in
+    labeled families, registered by name in a {!t}. Instrumented code
+    creates handles once (registration is idempotent by name) and bumps
+    them on the hot path; exporters walk the registry and render a
+    point-in-time {!snapshot}, JSON, or Prometheus text exposition.
+
+    All hooks across the scheduler are default-off: they test
+    {!enabled} — a single bool read — before touching any handle, so
+    the cost with metrics off is one predictable branch per site. *)
+
+(** {1 Handles} *)
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  (** @raise Invalid_argument on a negative increment (counters are
+      monotonic). *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Adds the observation to the first bucket whose upper bound is
+      [>=] the value, or to the overflow bucket. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) array
+  (** Per-bucket (non-cumulative) counts, one pair per upper bound plus
+      a final [(infinity, overflow)] entry. *)
+
+  val log_buckets : ?lo:float -> ?factor:float -> ?count:int -> unit -> float array
+  (** Log-scale upper bounds [lo *. factor^i] for [i = 0 .. count-1].
+      Defaults: [lo = 1e-6], [factor = 10^(1/3)] (three buckets per
+      decade), [count = 36] — spanning 1 µs to beyond 1 ks (bound 27),
+      the range of every duration this codebase measures.
+      @raise Invalid_argument unless [lo > 0.], [factor > 1.], [count > 0]. *)
+end
+
+(** {1 Registry} *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrumentation site uses. *)
+
+val enabled : unit -> bool
+(** Whether the built-in instrumentation sites are live. [false] at
+    start-up: hot paths pay one branch and nothing else. *)
+
+val set_enabled : bool -> unit
+
+(** {1 Registration}
+
+    Idempotent by name: re-registering returns the existing handle.
+    @raise Invalid_argument when a name is reused with a different
+    metric kind, label set or bucket layout. *)
+
+val counter : ?registry:t -> ?help:string -> string -> Counter.t
+val gauge : ?registry:t -> ?help:string -> string -> Gauge.t
+
+val histogram :
+  ?registry:t -> ?help:string -> ?buckets:float array -> string -> Histogram.t
+(** [buckets] are strictly increasing upper bounds; default
+    {!Histogram.log_buckets}[ ()]. *)
+
+(** Labeled families: one metric per label-value vector. The returned
+    function is the child factory; it caches children, so calling it on
+    the hot path is a hashtable lookup — hoist it when that matters. *)
+
+val counter_family :
+  ?registry:t -> ?help:string -> string -> labels:string list ->
+  string list -> Counter.t
+
+val gauge_family :
+  ?registry:t -> ?help:string -> string -> labels:string list ->
+  string list -> Gauge.t
+
+val histogram_family :
+  ?registry:t -> ?help:string -> ?buckets:float array -> string ->
+  labels:string list -> string list -> Histogram.t
+
+(** {1 Snapshot and export} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { sum : float; count : int; buckets : (float * int) array }
+
+type family_snapshot = {
+  name : string;
+  help : string;
+  kind : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
+  label_names : string list;
+  samples : (string list * value) list;
+      (** One entry per label-value vector, in first-use order;
+          unlabeled metrics have a single [([], v)] sample. *)
+}
+
+val snapshot : t -> family_snapshot list
+(** Families in registration order — deterministic output. *)
+
+val reset : t -> unit
+(** Zero every value; handles stay registered and live. *)
+
+val to_json : t -> string
+(** The whole registry as one JSON object:
+    [{"families": [{"name": ..., "kind": ..., "samples": [...]}]}]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format (HELP/TYPE comments, cumulative
+    [_bucket{le=...}] histogram series). *)

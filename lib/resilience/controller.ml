@@ -155,6 +155,47 @@ let migration options g buffers cur_mapping survivors old_to_new new_mapping =
 let period_of platform g mapping =
   Cellsched.Eval.period (Cellsched.Eval.create platform g mapping)
 
+(* Default-off observability: incident-level counters and latency
+   distributions, published when the process registry is enabled. *)
+let m_incidents =
+  lazy
+    (Obs.Metrics.counter ~help:"Fault incidents handled by the controller"
+       "resilience_incidents_total")
+
+let m_migrated =
+  lazy
+    (Obs.Metrics.counter ~help:"Tasks migrated during recoveries"
+       "resilience_migrated_tasks_total")
+
+let m_lost =
+  lazy
+    (Obs.Metrics.counter ~help:"In-flight instances re-processed after stalls"
+       "resilience_lost_instances_total")
+
+let m_detect =
+  lazy
+    (Obs.Metrics.histogram
+       ~help:"Stall-to-detection latency of the completion-rate monitor (s)"
+       "resilience_detection_latency_seconds")
+
+let m_remap =
+  lazy
+    (Obs.Metrics.histogram
+       ~help:"Detection-to-resume duration (remap + migration, s)"
+       "resilience_remap_duration_seconds")
+
+let observe_incident (i : incident) =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.Counter.inc (Lazy.force m_incidents);
+    Obs.Metrics.Counter.add (Lazy.force m_migrated) i.migrated_tasks;
+    Obs.Metrics.Counter.add (Lazy.force m_lost) i.lost_instances;
+    Obs.Metrics.Histogram.observe (Lazy.force m_detect)
+      (i.detection_time -. i.stall_time);
+    if not (Float.is_nan i.recovery_time) then
+      Obs.Metrics.Histogram.observe (Lazy.force m_remap)
+        (i.recovery_time -. i.detection_time)
+  end
+
 let run ?(options = default_options) ?trace ~faults platform g mapping
     ~instances =
   if instances <= 0 then
@@ -290,6 +331,7 @@ let run ?(options = default_options) ?trace ~faults platform g mapping
               predicted_period = nan;
             }
           in
+          observe_incident incident;
           {
             requested = instances;
             completed = done_;
@@ -324,6 +366,7 @@ let run ?(options = default_options) ?trace ~faults platform g mapping
               predicted_period = period_of p' g m';
             }
           in
+          observe_incident incident;
           let pending' =
             Fault.mask
               ~alive:(fun pe -> survivors.(pe))

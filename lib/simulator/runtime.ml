@@ -25,6 +25,8 @@ type metrics = {
   pe_busy : float array;
   transfers : int;
   bytes_transferred : float;
+  dma_in_highwater : int array;
+  dma_to_ppe_highwater : int array;
 }
 
 type event =
@@ -52,6 +54,11 @@ type sim = {
   link_in_avail : float array;
   dma_in_count : int array;  (* concurrent incoming transfers per PE *)
   dma_ppe_count : int array;  (* concurrent SPE-to-PPE transfers per SPE *)
+  dma_in_hw : int array;  (* high-water marks of the two queues *)
+  dma_ppe_hw : int array;
+  sink : Obs.Events.sink;  (* structured-event stream; Null by default *)
+  remote_ins : int array;  (* remote in-edges per task under the mapping *)
+  mutable buffered : int;  (* instances sitting in remote consumer buffers *)
   pe_tasks : int array array;  (* tasks per PE in topological order *)
   pending_overhead : float array;  (* comm-management CPU time owed per PE *)
   pe_busy : float array;
@@ -66,7 +73,7 @@ type sim = {
   mutable bytes_transferred : float;
 }
 
-let make_sim ~options ~trace ~faults platform g mapping n_instances =
+let make_sim ~options ~trace ~sink ~faults platform g mapping n_instances =
   let fp = Cellsched.Steady_state.first_periods g in
   let cap =
     Array.init (G.n_edges g) (fun e ->
@@ -101,6 +108,16 @@ let make_sim ~options ~trace ~faults platform g mapping n_instances =
     link_in_avail = Array.make platform.P.n_cells 0.;
     dma_in_count = Array.make (P.n_pes platform) 0;
     dma_ppe_count = Array.make (P.n_pes platform) 0;
+    dma_in_hw = Array.make (P.n_pes platform) 0;
+    dma_ppe_hw = Array.make (P.n_pes platform) 0;
+    sink;
+    remote_ins =
+      Array.init (G.n_tasks g) (fun k ->
+          List.length
+            (List.filter
+               (fun e -> Cellsched.Mapping.is_remote mapping (G.edge g e))
+               (G.in_edges g k)));
+    buffered = 0;
     pe_tasks;
     pending_overhead = Array.make (P.n_pes platform) 0.;
     pe_busy = Array.make (P.n_pes platform) 0.;
@@ -247,10 +264,22 @@ let start_transfer sim e =
     sim.link_in_avail.(dst_cell) <- finish
   end;
   sim.in_flight.(e) <- true;
-  if P.is_spe sim.platform dst_pe then
+  if P.is_spe sim.platform dst_pe then begin
     sim.dma_in_count.(dst_pe) <- sim.dma_in_count.(dst_pe) + 1;
-  if P.is_spe sim.platform src_pe && P.is_ppe sim.platform dst_pe then
+    if sim.dma_in_count.(dst_pe) > sim.dma_in_hw.(dst_pe) then
+      sim.dma_in_hw.(dst_pe) <- sim.dma_in_count.(dst_pe)
+  end;
+  if P.is_spe sim.platform src_pe && P.is_ppe sim.platform dst_pe then begin
     sim.dma_ppe_count.(src_pe) <- sim.dma_ppe_count.(src_pe) + 1;
+    if sim.dma_ppe_count.(src_pe) > sim.dma_ppe_hw.(src_pe) then
+      sim.dma_ppe_hw.(src_pe) <- sim.dma_ppe_count.(src_pe)
+  end;
+  if Obs.Events.enabled sim.sink then
+    Obs.Events.emit sim.sink ~cat:"dma" ~tid:dst_pe ~ts:start
+      ~phase:Obs.Events.Counter
+      ~args:
+        [ ("queued", Obs.Events.Int sim.dma_in_count.(dst_pe)) ]
+      (Printf.sprintf "dma_in[%s]" (P.pe_name sim.platform dst_pe));
   sim.transfers <- sim.transfers + 1;
   sim.bytes_transferred <- sim.bytes_transferred +. edge.G.data_bytes;
   sim.pending_overhead.(src_pe) <-
@@ -315,18 +344,44 @@ let handle sim = function
         (fun e -> if colocated sim e then sim.transferred.(e) <- sim.produced.(k))
         (G.out_edges sim.g k);
       sim.last_progress <- Engine.now sim.engine;
+      (* The new instance consumed one slot from each remote input buffer. *)
+      sim.buffered <- sim.buffered - sim.remote_ins.(k);
       (* Track globally completed instances. *)
       let min_produced = Array.fold_left min max_int sim.produced in
+      let advanced = sim.completed_instances < min_produced in
       while sim.completed_instances < min_produced do
         sim.completion_times.(sim.completed_instances) <- Engine.now sim.engine;
         sim.completed_instances <- sim.completed_instances + 1
-      done
+      done;
+      if advanced && Obs.Events.enabled sim.sink then begin
+        let now = Engine.now sim.engine in
+        Obs.Events.emit sim.sink ~cat:"stream" ~ts:now
+          ~phase:Obs.Events.Counter
+          ~args:[ ("completed", Obs.Events.Int sim.completed_instances) ]
+          "completed_instances";
+        if now > 0. then
+          Obs.Events.emit sim.sink ~cat:"stream" ~ts:now
+            ~phase:Obs.Events.Counter
+            ~args:
+              [
+                ( "instances_per_s",
+                  Obs.Events.Float
+                    (float_of_int sim.completed_instances /. now) );
+              ]
+            "achieved_throughput"
+      end
   | Transfer_done e ->
       let edge = G.edge sim.g e in
       let src_pe = Cellsched.Mapping.pe sim.mapping edge.G.src in
       let dst_pe = Cellsched.Mapping.pe sim.mapping edge.G.dst in
       sim.in_flight.(e) <- false;
       sim.transferred.(e) <- sim.transferred.(e) + 1;
+      sim.buffered <- sim.buffered + 1;
+      if Obs.Events.enabled sim.sink then
+        Obs.Events.emit sim.sink ~cat:"buffers" ~ts:(Engine.now sim.engine)
+          ~phase:Obs.Events.Counter
+          ~args:[ ("instances", Obs.Events.Int sim.buffered) ]
+          "buffer_occupancy";
       sim.pending_overhead.(dst_pe) <-
         sim.pending_overhead.(dst_pe) +. sim.options.comm_cpu_time;
       if P.is_spe sim.platform dst_pe then
@@ -403,16 +458,66 @@ let metrics_of sim ~completed =
     pe_busy = sim.pe_busy;
     transfers = sim.transfers;
     bytes_transferred = sim.bytes_transferred;
+    dma_in_highwater = Array.copy sim.dma_in_hw;
+    dma_to_ppe_highwater = Array.copy sim.dma_ppe_hw;
   }
 
-let run ?(options = default_options) ?trace platform g mapping ~instances =
+(* Default-off observability: publish a run's aggregate metrics into the
+   process-wide registry (per-PE families labeled by PE name). *)
+let publish_metrics platform (m : metrics) =
+  if Obs.Metrics.enabled () then begin
+    let busy name =
+      Obs.Metrics.gauge_family ~help:"Compute-busy fraction of the run per PE"
+        "sim_pe_busy_fraction" ~labels:[ "pe" ] [ name ]
+    and dma_in name =
+      Obs.Metrics.gauge_family
+        ~help:"High-water mark of the incoming DMA queue per PE"
+        "sim_dma_in_highwater" ~labels:[ "pe" ] [ name ]
+    and dma_ppe name =
+      Obs.Metrics.gauge_family
+        ~help:"High-water mark of the SPE-to-PPE DMA queue per PE"
+        "sim_dma_to_ppe_highwater" ~labels:[ "pe" ] [ name ]
+    in
+    let horizon = m.makespan in
+    Array.iteri
+      (fun pe b ->
+        let name = P.pe_name platform pe in
+        Obs.Metrics.Gauge.set (busy name)
+          (if horizon > 0. then b /. horizon else 0.);
+        Obs.Metrics.Gauge.set (dma_in name)
+          (float_of_int m.dma_in_highwater.(pe));
+        Obs.Metrics.Gauge.set (dma_ppe name)
+          (float_of_int m.dma_to_ppe_highwater.(pe)))
+      m.pe_busy;
+    Obs.Metrics.Counter.add
+      (Obs.Metrics.counter ~help:"Remote DMA transfers simulated"
+         "sim_transfers_total")
+      m.transfers;
+    Obs.Metrics.Counter.add
+      (Obs.Metrics.counter ~help:"Stream instances completed in simulation"
+         "sim_instances_total")
+      m.instances;
+    Obs.Metrics.Gauge.set
+      (Obs.Metrics.gauge
+         ~help:"Steady-state throughput of the last simulated run \
+                (instances/s)"
+         "sim_steady_throughput")
+      m.steady_throughput
+  end
+
+let run ?(options = default_options) ?trace ?(sink = Obs.Events.null) platform g
+    mapping ~instances =
   if instances <= 0 then invalid_arg "Runtime.run: instances must be positive";
   check_deployable platform g mapping;
-  let sim = make_sim ~options ~trace ~faults:[||] platform g mapping instances in
+  let sim =
+    make_sim ~options ~trace ~sink ~faults:[||] platform g mapping instances
+  in
   simulate sim;
   if sim.completed_instances <> instances then
     failwith "Runtime.run: simulation stalled (runtime bug)";
-  metrics_of sim ~completed:instances
+  let m = metrics_of sim ~completed:instances in
+  publish_metrics platform m;
+  m
 
 type fault_outcome = {
   metrics : metrics;
@@ -429,14 +534,14 @@ let fault_label (f : Fault.fault) =
   | Fault.Slowdown factor -> Printf.sprintf "SLOW x%.1f" factor
   | Fault.Link_degrade factor -> Printf.sprintf "BW /%.1f" factor
 
-let run_with_faults ?(options = default_options) ?trace ~faults platform g
-    mapping ~instances =
+let run_with_faults ?(options = default_options) ?trace
+    ?(sink = Obs.Events.null) ~faults platform g mapping ~instances =
   if instances <= 0 then
     invalid_arg "Runtime.run_with_faults: instances must be positive";
   Fault.validate platform faults;
   check_deployable platform g mapping;
   let faults = Array.of_list (Fault.sorted faults) in
-  let sim = make_sim ~options ~trace ~faults platform g mapping instances in
+  let sim = make_sim ~options ~trace ~sink ~faults platform g mapping instances in
   simulate sim;
   let horizon = Engine.now sim.engine in
   (match trace with
@@ -479,8 +584,10 @@ let run_with_faults ?(options = default_options) ?trace ~faults platform g
         faults;
     alive
   in
+  let m = metrics_of sim ~completed in
+  publish_metrics platform m;
   {
-    metrics = metrics_of sim ~completed;
+    metrics = m;
     completed;
     stalled;
     stall_time = sim.last_progress;

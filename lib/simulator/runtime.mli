@@ -44,18 +44,31 @@ type metrics = {
   pe_busy : float array;  (** Compute-busy seconds per PE. *)
   transfers : int;  (** Remote transfers performed. *)
   bytes_transferred : float;  (** Total remote bytes moved. *)
+  dma_in_highwater : int array;
+      (** Per-PE maximum number of concurrent incoming DMA transfers
+          observed — how close the run came to [max_dma_in]. *)
+  dma_to_ppe_highwater : int array;
+      (** Per-SPE maximum concurrent SPE-to-PPE transfers observed
+          (vs [max_dma_to_ppe]); always 0 on the PPE entries. *)
 }
 
 val run :
   ?options:options ->
   ?trace:Trace.t ->
+  ?sink:Obs.Events.sink ->
   Cell.Platform.t ->
   Streaming.Graph.t ->
   Cellsched.Mapping.t ->
   instances:int ->
   metrics
 (** Simulate the stream; with [?trace], every compute slot and remote
-    transfer is recorded for {!Trace} post-processing.
+    transfer is recorded for {!Trace} post-processing. With [?sink]
+    (default {!Obs.Events.null}), the runtime streams counter events —
+    DMA-queue depth per destination PE, remote-buffer occupancy, completed
+    instances and achieved throughput — into the sink for Chrome-trace
+    export; when the process-wide {!Obs.Metrics} registry is enabled, the
+    run additionally publishes busy fractions, DMA high-water marks and
+    throughput there.
     @raise Invalid_argument if [instances <= 0] or the mapping overflows
     an SPE local store ({!Cellsched.Steady_state.Memory} violation).
     Mappings that merely exceed the MILP's per-period DMA-queue constraints
@@ -100,6 +113,7 @@ type fault_outcome = {
 val run_with_faults :
   ?options:options ->
   ?trace:Trace.t ->
+  ?sink:Obs.Events.sink ->
   faults:Fault.plan ->
   Cell.Platform.t ->
   Streaming.Graph.t ->

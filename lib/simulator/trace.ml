@@ -14,23 +14,29 @@ let record t span =
   t.items <- span :: t.items;
   t.n <- t.n + 1
 
-let spans t = List.sort (fun a b -> compare a.start b.start) t.items
+(* The one start-time ordering used by every sorted consumer
+   (spans/to_svg/to_chrome): a single comparator, not per-exporter
+   copies. *)
+let by_start a b = compare a.start b.start
+
+let spans t = List.sort by_start t.items
+
+let iter t f = List.iter f t.items
+
+let fold t ~init ~f = List.fold_left f init t.items
 
 let length t = t.n
 
 let busy_fraction t ~n_pes ~horizon =
   let busy = Array.make n_pes 0. in
-  List.iter
-    (fun s ->
+  iter t (fun s ->
       if s.kind = `Compute && s.pe >= 0 && s.pe < n_pes then
-        busy.(s.pe) <- busy.(s.pe) +. (Float.min horizon s.finish -. s.start))
-    t.items;
+        busy.(s.pe) <- busy.(s.pe) +. (Float.min horizon s.finish -. s.start));
   Array.map (fun b -> if horizon > 0. then b /. horizon else 0.) busy
 
 let bounds t =
-  List.fold_left
-    (fun (lo, hi) s -> (Float.min lo s.start, Float.max hi s.finish))
-    (infinity, neg_infinity) t.items
+  fold t ~init:(infinity, neg_infinity) ~f:(fun (lo, hi) s ->
+      (Float.min lo s.start, Float.max hi s.finish))
 
 let window ?from_time ?to_time t =
   let lo, hi = bounds t in
@@ -68,7 +74,7 @@ let gantt ?(width = 80) ?from_time ?to_time platform t =
       done
     end
   in
-  List.iter paint t.items;
+  iter t paint;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "time %.6fs .. %.6fs  (# compute, - transfer)\n" lo hi);
@@ -128,3 +134,38 @@ let to_svg ?(width = 800) ?(row_height = 22) ?from_time ?to_time platform t =
        "<text x=\"%d\" y=\"%d\">%.6fs .. %.6fs</text>\n</svg>\n" label_width
        (total_height - 5) lo hi);
   Buffer.contents buf
+
+let kind_cat = function
+  | `Compute -> "compute"
+  | `Transfer -> "transfer"
+  | `Fault -> "fault"
+
+let to_events platform t =
+  let name_meta =
+    List.init (Cell.Platform.n_pes platform) (fun pe ->
+        Obs.Events.thread_name_event ~tid:pe (Cell.Platform.pe_name platform pe))
+  in
+  let seq = ref 0 in
+  let span_events =
+    List.map
+      (fun s ->
+        let e =
+          {
+            Obs.Events.seq = !seq;
+            ts = s.start;
+            name = s.label;
+            cat = kind_cat s.kind;
+            pid = 1;
+            tid = s.pe;
+            phase = Obs.Events.Complete (Float.max 0. (s.finish -. s.start));
+            args = [];
+          }
+        in
+        incr seq;
+        e)
+      (spans t)
+  in
+  name_meta @ span_events
+
+let to_chrome ?(extra = []) platform t =
+  Obs.Events.to_chrome_json (to_events platform t @ extra)

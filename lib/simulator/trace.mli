@@ -22,7 +22,15 @@ val record : t -> span -> unit
 (** Used by the runtime; spans may arrive out of order. *)
 
 val spans : t -> span list
-(** All recorded spans sorted by start time. *)
+(** All recorded spans sorted by start time. Allocates and sorts on
+    every call; streaming consumers should prefer {!iter}/{!fold}. *)
+
+val iter : t -> (span -> unit) -> unit
+(** Visit every span in recording order (unsorted) without building the
+    sorted list {!spans} allocates. *)
+
+val fold : t -> init:'a -> f:('a -> span -> 'a) -> 'a
+(** Fold over spans in recording order (unsorted). *)
 
 val length : t -> int
 
@@ -49,3 +57,15 @@ val to_svg :
   t ->
   string
 (** Standalone SVG rendering of the same chart, one lane per PE. *)
+
+val to_events : Cell.Platform.t -> t -> Obs.Events.event list
+(** The trace as Chrome [trace_event] records: one [Complete] span per
+    recorded span (thread id = PE index, category ["compute"],
+    ["transfer"] or ["fault"]) preceded by thread-name metadata so lanes
+    carry platform PE names. *)
+
+val to_chrome : ?extra:Obs.Events.event list -> Cell.Platform.t -> t -> string
+(** Chrome/Perfetto trace JSON of {!to_events} (plus [extra] events,
+    e.g. counter samples drained from a {!Obs.Events.sink}); open the
+    written file in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}. *)

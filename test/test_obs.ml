@@ -1,0 +1,454 @@
+(* Tests for the observability layer: histogram bucket edges,
+   snapshot/reset semantics, deterministic event ordering under a fake
+   clock, the Chrome trace_event JSON shape, and the transparency
+   property — enabling metrics must not change any scheduling or
+   simulation result, bitwise. *)
+
+module M = Obs.Metrics
+module Ev = Obs.Events
+module P = Cell.Platform
+module G = Streaming.Graph
+
+(* --- a minimal JSON parser (validation only) ------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some (('"' | '\\' | '/') as c) ->
+                Buffer.add_char buf c;
+                advance ();
+                go ()
+            | Some ('b' | 'f' | 'n' | 'r' | 't') ->
+                advance ();
+                go ()
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                  | _ -> fail "bad \\u escape"
+                done;
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            Arr [])
+          else Arr (elements [])
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> Num (number ())
+      | _ -> fail "unexpected character"
+    and members acc =
+      skip_ws ();
+      let k = string_lit () in
+      skip_ws ();
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          advance ();
+          members ((k, v) :: acc)
+      | Some '}' ->
+          advance ();
+          List.rev ((k, v) :: acc)
+      | _ -> fail "expected ',' or '}'"
+    and elements acc =
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          advance ();
+          elements (v :: acc)
+      | Some ']' ->
+          advance ();
+          List.rev (v :: acc)
+      | _ -> fail "expected ',' or ']'"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj kvs -> ( try Some (List.assoc k kvs) with Not_found -> None)
+    | _ -> None
+end
+
+(* --- histogram buckets ---------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r ~buckets:[| 1.; 2.; 4. |] "h" in
+  (* Upper bounds are inclusive: an observation equal to a bound lands in
+     that bound's bucket, one epsilon above spills into the next. *)
+  List.iter (M.Histogram.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.0; 4.5; 100. ];
+  let buckets = M.Histogram.buckets h in
+  Alcotest.(check int) "bucket count" 4 (Array.length buckets);
+  let counts = Array.map snd buckets in
+  Alcotest.(check (array int)) "per-bucket" [| 2; 2; 1; 2 |] counts;
+  Alcotest.(check (float 0.)) "le=1" 1. (fst buckets.(0));
+  Alcotest.(check (float 0.)) "le=2" 2. (fst buckets.(1));
+  Alcotest.(check (float 0.)) "le=4" 4. (fst buckets.(2));
+  Alcotest.(check bool) "overflow bound" true (fst buckets.(3) = infinity);
+  Alcotest.(check int) "count" 7 (M.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 113.5 (M.Histogram.sum h)
+
+let test_log_buckets () =
+  let b = M.Histogram.log_buckets () in
+  Alcotest.(check int) "default count" 36 (Array.length b);
+  Alcotest.(check (float 1e-12)) "lo" 1e-6 b.(0);
+  (* Three buckets per decade: the ratio of consecutive bounds is 10^(1/3). *)
+  let ratio = b.(1) /. b.(0) in
+  Alcotest.(check (float 1e-9)) "factor" (Float.pow 10. (1. /. 3.)) ratio;
+  (* Three per decade from 1e-6: bound 27 sits at 1e-6 * 10^9 = 1 ks. *)
+  Alcotest.(check (float 1e-3)) "1ks at index 27" 1e3 b.(27);
+  Array.iteri
+    (fun i bound -> if i > 0 then assert (bound > b.(i - 1)))
+    b
+
+(* --- snapshot / reset ----------------------------------------------------- *)
+
+let test_snapshot_reset () =
+  let r = M.create () in
+  let c = M.counter ~registry:r ~help:"c" "c_total" in
+  let g = M.gauge ~registry:r "g" in
+  let fam v = M.counter_family ~registry:r "f_total" ~labels:[ "pe" ] [ v ] in
+  M.Counter.add c 3;
+  M.Gauge.set g 2.5;
+  M.Counter.inc (fam "SPE0");
+  M.Counter.inc (fam "SPE0");
+  M.Counter.inc (fam "SPE1");
+  let snap = M.snapshot r in
+  Alcotest.(check (list string))
+    "registration order" [ "c_total"; "g"; "f_total" ]
+    (List.map (fun f -> f.M.name) snap);
+  let f_fam = List.nth snap 2 in
+  Alcotest.(check (list string)) "label names" [ "pe" ] f_fam.M.label_names;
+  let sample labels =
+    match List.assoc labels f_fam.M.samples with
+    | M.Counter_v v -> v
+    | _ -> Alcotest.fail "expected counter sample"
+  in
+  Alcotest.(check int) "SPE0" 2 (sample [ "SPE0" ]);
+  Alcotest.(check int) "SPE1" 1 (sample [ "SPE1" ]);
+  (match List.assoc [] (List.nth snap 0).M.samples with
+  | M.Counter_v 3 -> ()
+  | _ -> Alcotest.fail "c_total should be 3");
+  (* Re-registration by name returns the live handle. *)
+  M.Counter.inc (M.counter ~registry:r "c_total");
+  Alcotest.(check int) "idempotent handle" 4 (M.Counter.value c);
+  (* Reusing a name with another kind is an error. *)
+  (match M.gauge ~registry:r "c_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  (* Reset zeroes values but keeps handles registered and live. *)
+  M.reset r;
+  Alcotest.(check int) "counter reset" 0 (M.Counter.value c);
+  Alcotest.(check (float 0.)) "gauge reset" 0. (M.Gauge.value g);
+  Alcotest.(check int) "family reset" 0 (M.Counter.value (fam "SPE0"));
+  M.Counter.inc c;
+  Alcotest.(check int) "live after reset" 1 (M.Counter.value c);
+  Alcotest.(check int)
+    "families survive reset" 3
+    (List.length (M.snapshot r))
+
+let test_export_parses () =
+  let r = M.create () in
+  let c = M.counter ~registry:r ~help:"with \"quotes\" and \\ back" "c_total" in
+  M.Counter.inc c;
+  M.Histogram.observe (M.histogram ~registry:r "h_seconds") 0.01;
+  M.Gauge.set (M.gauge ~registry:r "g") Float.nan;
+  let j = Json.parse (M.to_json r) in
+  (match Json.member "families" j with
+  | Some (Json.Arr fams) -> Alcotest.(check int) "3 families" 3 (List.length fams)
+  | _ -> Alcotest.fail "families array missing");
+  (* Prometheus text: one TYPE line per family, cumulative buckets. *)
+  let prom = M.to_prometheus r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length prom in
+    let rec go i = i + nl <= hl && (String.sub prom i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then Alcotest.failf "missing %S" needle)
+    [ "# TYPE c_total counter"; "h_seconds_bucket{le=\"+Inf\"}"; "h_seconds_count 1" ]
+
+(* --- event ordering under a fake clock ------------------------------------ *)
+
+let test_event_ordering () =
+  let clock = Ev.Clock.fake () in
+  let sink = Ev.ring ~capacity:8 ~clock () in
+  Alcotest.(check bool) "ring enabled" true (Ev.enabled sink);
+  Alcotest.(check bool) "null disabled" false (Ev.enabled Ev.null);
+  Ev.emit sink "a";
+  Ev.emit sink "b";  (* same timestamp: emission order must win *)
+  Ev.Clock.advance clock 1.5;
+  Ev.emit sink "c";
+  let evs = Ev.events sink in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ]
+    (List.map (fun e -> e.Ev.name) evs);
+  Alcotest.(check (list int)) "seq" [ 0; 1; 2 ]
+    (List.map (fun e -> e.Ev.seq) evs);
+  Alcotest.(check (list (float 0.))) "ts" [ 0.; 0.; 1.5 ]
+    (List.map (fun e -> e.Ev.ts) evs);
+  (* Emitting into the null sink is a no-op, not an error. *)
+  Ev.emit Ev.null "ignored";
+  Alcotest.(check int) "null stays empty" 0 (Ev.length Ev.null)
+
+let test_ring_overwrite () =
+  let clock = Ev.Clock.fake () in
+  let sink = Ev.ring ~capacity:4 ~clock () in
+  for i = 0 to 9 do
+    Ev.emit sink (string_of_int i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Ev.length sink);
+  Alcotest.(check int) "dropped" 6 (Ev.dropped sink);
+  Alcotest.(check (list string)) "keeps the newest, oldest first"
+    [ "6"; "7"; "8"; "9" ]
+    (List.map (fun e -> e.Ev.name) (Ev.events sink));
+  Ev.clear sink;
+  Alcotest.(check int) "clear" 0 (Ev.length sink)
+
+(* --- Chrome trace JSON shape ---------------------------------------------- *)
+
+let check_chrome_shape json_text ~expect_events =
+  let j = Json.parse json_text in
+  let evs =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  if expect_events then
+    Alcotest.(check bool) "has events" true (List.length evs > 0);
+  List.iter
+    (fun e ->
+      let ph =
+        match Json.member "ph" e with
+        | Some (Json.Str ph) -> ph
+        | _ -> Alcotest.fail "ph missing"
+      in
+      (match Json.member "ts" e with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "ts missing");
+      (match Json.member "pid" e with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "pid missing");
+      match ph with
+      | "X" -> (
+          (* Complete events carry a non-negative duration. *)
+          match Json.member "dur" e with
+          | Some (Json.Num d) when d >= 0. -> ()
+          | _ -> Alcotest.fail "X event without dur")
+      | "i" | "C" | "M" -> ()
+      | other -> Alcotest.failf "unexpected phase %S" other)
+    evs;
+  evs
+
+let test_chrome_json_handmade () =
+  let clock = Ev.Clock.fake () in
+  let sink = Ev.ring ~clock () in
+  Ev.emit sink ~cat:"compute" ~tid:2 ~phase:(Ev.Complete 0.25)
+    ~args:[ ("k", Ev.Int 1); ("ok", Ev.Bool true) ]
+    "slot";
+  Ev.Clock.advance clock 0.5;
+  Ev.emit sink ~phase:Ev.Instant "tick";
+  Ev.emit sink ~phase:Ev.Counter ~args:[ ("v", Ev.Float 1.5) ] "queue";
+  let evs =
+    check_chrome_shape ~expect_events:true
+      (Ev.to_chrome_json (Ev.thread_name_event ~tid:2 "SPE1" :: Ev.events sink))
+  in
+  Alcotest.(check int) "all four events" 4 (List.length evs);
+  (* ts is rescaled to microseconds. *)
+  let tss =
+    List.filter_map
+      (fun e ->
+        match Json.member "ts" e with Some (Json.Num t) -> Some t | _ -> None)
+      evs
+  in
+  Alcotest.(check bool) "microseconds" true (List.mem 500000. tss)
+
+let test_chrome_json_from_simulation () =
+  let rng = Support.Rng.create 11 in
+  let g =
+    Daggen.Generator.generate ~rng
+      ~shape:
+        { Daggen.Generator.n = 12; fat = 0.5; density = 0.4; regularity = 0.5; jump = 2 }
+      ~costs:Daggen.Generator.default_costs
+  in
+  let platform = P.make ~n_ppe:1 ~n_spe:4 () in
+  let mapping = Cellsched.Heuristics.greedy_cpu platform g in
+  let trace = Simulator.Trace.create () in
+  let sink = Ev.ring ~clock:(Ev.Clock.fake ()) () in
+  let m = Simulator.Runtime.run ~trace ~sink platform g mapping ~instances:50 in
+  Alcotest.(check int) "completed" 50 m.Simulator.Runtime.instances;
+  let json = Simulator.Trace.to_chrome ~extra:(Ev.events sink) platform trace in
+  let evs = check_chrome_shape ~expect_events:true json in
+  let phases ph =
+    List.length
+      (List.filter (fun e -> Json.member "ph" e = Some (Json.Str ph)) evs)
+  in
+  (* One X span per recorded compute/transfer, metadata naming each PE
+     lane, and counter samples merged from the runtime sink. *)
+  Alcotest.(check int) "X = trace spans" (Simulator.Trace.length trace)
+    (phases "X");
+  Alcotest.(check int) "one lane name per PE" (P.n_pes platform) (phases "M");
+  Alcotest.(check bool) "counter samples present" true (phases "C" > 0)
+
+(* --- transparency: metrics on = metrics off, bitwise ---------------------- *)
+
+let with_metrics_on f =
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () -> M.set_enabled false; M.reset M.default) f
+
+let search_result platform g m0 =
+  let m = Cellsched.Heuristics.local_search platform g m0 in
+  let ev = Cellsched.Eval.create platform g m in
+  (Cellsched.Mapping.to_array m, Int64.bits_of_float (Cellsched.Eval.period ev))
+
+let metrics_transparent =
+  QCheck.Test.make ~count:25 ~name:"enabling metrics changes no result"
+    QCheck.(pair (int_bound 100_000) (int_range 6 16))
+    (fun (seed, n) ->
+      let n = max 6 n and seed = abs seed in
+      let rng = Support.Rng.create (seed + 31_000_000) in
+      let g =
+        Daggen.Generator.generate ~rng
+          ~shape:
+            { Daggen.Generator.n; fat = 0.5; density = 0.4; regularity = 0.5; jump = 2 }
+          ~costs:Daggen.Generator.default_costs
+      in
+      let platform = P.make ~n_ppe:1 ~n_spe:4 () in
+      let m0 = Cellsched.Heuristics.greedy_mem platform g in
+      let base_map, base_period = search_result platform g m0 in
+      let on_map, on_period =
+        with_metrics_on (fun () -> search_result platform g m0)
+      in
+      if base_map <> on_map then
+        QCheck.Test.fail_reportf "local search diverged under metrics";
+      if base_period <> on_period then
+        QCheck.Test.fail_reportf "period bits diverged under metrics";
+      (* The simulator too: counters and an event sink must not perturb
+         the discrete-event timeline. *)
+      let sim () =
+        let r = Simulator.Runtime.run platform g m0 ~instances:60 in
+        ( Array.map Int64.bits_of_float r.Simulator.Runtime.completion_times,
+          r.Simulator.Runtime.transfers )
+      in
+      let base_sim = sim () in
+      let on_sim =
+        with_metrics_on (fun () ->
+            let trace = Simulator.Trace.create () in
+            let sink = Ev.ring ~clock:(Ev.Clock.fake ()) () in
+            let r =
+              Simulator.Runtime.run ~trace ~sink platform g m0 ~instances:60
+            in
+            ( Array.map Int64.bits_of_float r.Simulator.Runtime.completion_times,
+              r.Simulator.Runtime.transfers ))
+      in
+      if base_sim <> on_sim then
+        QCheck.Test.fail_reportf "simulation diverged under metrics/sink";
+      true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "log-scale default buckets" `Quick
+            test_log_buckets;
+          Alcotest.test_case "snapshot and reset" `Quick test_snapshot_reset;
+          Alcotest.test_case "JSON and Prometheus exports" `Quick
+            test_export_parses;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "fake-clock ordering" `Quick test_event_ordering;
+          Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
+          Alcotest.test_case "Chrome JSON shape (handmade)" `Quick
+            test_chrome_json_handmade;
+          Alcotest.test_case "Chrome JSON shape (simulation)" `Quick
+            test_chrome_json_from_simulation;
+        ] );
+      ("transparency", [ qt metrics_transparent ]);
+    ]

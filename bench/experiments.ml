@@ -16,6 +16,19 @@ let scale = ref 1.0
 
 let instances n = max 200 (int_of_float (float_of_int n *. !scale))
 
+let pool : Par.Pool.t option ref = ref None
+(* Set by bench --parallel[=N]. Sweeps fan their independent points out
+   over it through [pmap]; every point is a pure function of its inputs
+   and [parallel_map] preserves order, so the tables are byte-identical
+   to the sequential run. *)
+
+let pmap f arr =
+  match !pool with
+  | Some p when Array.length arr > 1 -> Par.Pool.parallel_map p f arr
+  | _ -> Array.map f arr
+
+let pmap_list f l = Array.to_list (pmap f (Array.of_list l))
+
 let milp_options =
   (* Sweeps use a 10 s budget per solve (incumbents converge within a few
      seconds); the dedicated milptime experiment uses the paper's full
@@ -81,7 +94,7 @@ let fig7_one name g =
     Support.Table.create [ "#SPEs"; "GREEDYCPU"; "GREEDYMEM"; "LinearProgramming" ]
   in
   let rows =
-    List.map
+    pmap_list
       (fun ns ->
         let platform = P.qs22 ~n_spe:ns () in
         let speedup m = steady platform g m ~n:5_000 /. base in
@@ -130,23 +143,35 @@ let fig8 () =
     Support.Table.create
       ("CCR" :: List.map (fun (name, _) -> name) presets)
   in
+  let ccrs = Streaming.Ccr.paper_ccrs in
+  let n_presets = List.length presets in
+  (* One pool task per (CCR, graph) point. *)
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun ccr -> List.map (fun (_, make) -> (ccr, make)) presets)
+         ccrs)
+  in
+  let speeds =
+    pmap
+      (fun (ccr, make) ->
+        let g = make ccr in
+        let base = steady platform g (H.ppe_only platform g) ~n:10_000 in
+        let lp = (solve_lp platform g).MS.mapping in
+        steady platform g lp ~n:10_000 /. base)
+      points
+  in
   let result =
-    List.map
-      (fun ccr ->
+    List.mapi
+      (fun i ccr ->
         let speedups =
-          List.map
-            (fun (_, make) ->
-              let g = make ccr in
-              let base = steady platform g (H.ppe_only platform g) ~n:10_000 in
-              let lp = (solve_lp platform g).MS.mapping in
-              steady platform g lp ~n:10_000 /. base)
-            presets
+          List.init n_presets (fun j -> speeds.((i * n_presets) + j))
         in
         Support.Table.add_row table
           (Printf.sprintf "%.3f" ccr
           :: List.map (Printf.sprintf "%.2f") speedups);
         (ccr, speedups))
-      Streaming.Ccr.paper_ccrs
+      ccrs
   in
   Support.Table.print table;
   print_newline ();
@@ -743,4 +768,134 @@ let search () =
     print_endline
       "WARNING: engine local search under 2x (or diverged) on the 94-task preset";
   search_obs platform;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* P1 - parallel search: portfolio + B&B on a domain pool vs the       *)
+(* sequential fold. Same seeds: the mapping and period must be bitwise *)
+(* identical at every pool size; only the wall clock may differ.       *)
+(* ------------------------------------------------------------------ *)
+
+let search_par () =
+  let host = Domain.recommended_domain_count () in
+  print_endline "== Parallel search: domain pool vs sequential ==";
+  Printf.printf
+    "   (portfolio and branch-and-bound; bitwise-identical results required\n\
+    \    at every pool size; this host reports %d core(s))\n"
+    host;
+  let platform = P.qs22 () in
+  let module M = Cellsched.Mapping in
+  let module Search = Cellsched.Mapping_search in
+  let module Pf = Cellsched.Portfolio in
+  let sizes = [ 1; 2; 4 ] in
+  let quick = !scale < 1. in
+  let restarts = if quick then 2 else Pf.default_restarts in
+  (* A node budget, not a wall-clock limit, bounds the B&B here: a
+     deadline cutoff is timing-dependent and would break the
+     bitwise-identity check between runs of different speeds. *)
+  let bb_options =
+    {
+      Search.default_options with
+      max_nodes = (if quick then 8_000 else 50_000);
+      time_limit = 3600.;
+    }
+  in
+  let bits = Int64.bits_of_float in
+  let table =
+    Support.Table.create
+      [ "graph"; "strategy"; "seq"; "pool=1"; "pool=2"; "pool=4"; "best speedup"; "identical" ]
+  in
+  let json_rows = ref [] in
+  let speedup_gauge strategy domains =
+    Obs.Metrics.gauge_family
+      ~help:"Measured parallel search speedup over the sequential run"
+      "par_speedup" ~labels:[ "strategy"; "domains" ]
+      [ strategy; string_of_int domains ]
+  in
+  let best_speedup = ref 0. in
+  let all_identical = ref true in
+  let metrics_were_on = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  List.iter
+    (fun (name, g) ->
+      let run_strategy strategy ~seq ~par =
+        let (a0, p0), t_seq = time_of seq in
+        let runs =
+          List.map
+            (fun n ->
+              Par.Pool.with_pool ~size:n (fun p ->
+                  let (a, pd), t = time_of (fun () -> par p) in
+                  Par.Pool.publish_stats p;
+                  let same = a = a0 && bits pd = bits p0 in
+                  let speedup = if t > 0. then t_seq /. t else infinity in
+                  Obs.Metrics.Gauge.set (speedup_gauge strategy n) speedup;
+                  if speedup > !best_speedup then best_speedup := speedup;
+                  if not same then all_identical := false;
+                  (n, t, speedup, same)))
+            sizes
+        in
+        let identical = List.for_all (fun (_, _, _, same) -> same) runs in
+        let best =
+          List.fold_left (fun acc (_, _, s, _) -> Float.max acc s) 0. runs
+        in
+        Support.Table.add_row table
+          (name :: strategy
+          :: Printf.sprintf "%.3f s" t_seq
+          :: List.map (fun (_, t, _, _) -> Printf.sprintf "%.3f s" t) runs
+          @ [
+              Printf.sprintf "%.2fx" best;
+              (if identical then "yes" else "NO");
+            ]);
+        json_rows :=
+          Printf.sprintf
+            "    { \"graph\": %S, \"tasks\": %d, \"strategy\": %S,\n\
+            \      \"period_s\": %.9g, \"sequential_s\": %.6f, \"identical\": %b,\n\
+            \      \"runs\": [ %s ] }"
+            name (G.n_tasks g) strategy p0 t_seq identical
+            (String.concat ", "
+               (List.map
+                  (fun (n, t, s, same) ->
+                    Printf.sprintf
+                      "{ \"domains\": %d, \"time_s\": %.6f, \"speedup\": %.3f, \
+                       \"identical\": %b }"
+                      n t s same)
+                  runs))
+          :: !json_rows
+      in
+      let portfolio_result r = (M.to_array r.Pf.best, r.Pf.period) in
+      run_strategy "portfolio"
+        ~seq:(fun () -> portfolio_result (Pf.solve ~restarts platform g))
+        ~par:(fun p -> portfolio_result (Pf.solve ~pool:p ~restarts platform g));
+      let bb_result (r : Search.result) =
+        (M.to_array r.Search.mapping, r.Search.period)
+      in
+      run_strategy "bb"
+        ~seq:(fun () -> bb_result (Search.solve ~options:bb_options platform g))
+        ~par:(fun p ->
+          bb_result (Search.solve ~options:bb_options ~pool:p platform g)))
+    (graphs ());
+  Support.Table.print table;
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"par\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"pool_sizes\": [ %s ],\n\
+    \  \"all_identical\": %b,\n\
+    \  \"best_speedup\": %.3f,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    host
+    (String.concat ", " (List.map string_of_int sizes))
+    !all_identical !best_speedup
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "wrote BENCH_par.json";
+  if not !all_identical then
+    print_endline "WARNING: a pooled run diverged from the sequential result";
+  if !best_speedup < 2. then
+    Printf.printf
+      "note: best speedup %.2fx below 2x (host has %d core(s); >=2x needs >=4)\n"
+      !best_speedup host;
+  Obs.Metrics.set_enabled metrics_were_on;
   print_newline ()

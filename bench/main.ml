@@ -2,30 +2,57 @@
    evaluation (S6), plus the ablations called for by S7 and a bechamel
    micro-benchmark suite.
 
-   Usage: main.exe [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|all]...
+   Usage: main.exe [--quick] [--parallel[=N]]
+          [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|par|all]...
    With no experiment argument, everything runs. --quick shortens the
-   simulated streams by 10x for fast smoke runs. *)
+   simulated streams by 10x for fast smoke runs. --parallel fans the
+   independent sweep points (Fig. 7 SPE counts, Fig. 8 CCR x graph) out
+   over a domain pool of N workers (default: the host's core count);
+   tables are byte-identical to the sequential run. *)
 
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|all]...";
+    "usage: bench [--quick] [--parallel[=N]] \
+     [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|par|all]...";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   if quick then Experiments.scale := 0.1;
+  let parallel =
+    List.fold_left
+      (fun acc a ->
+        if a = "--parallel" then Some (Par.Pool.default_size ())
+        else if String.starts_with ~prefix:"--parallel=" a then
+          match
+            int_of_string_opt (String.sub a 11 (String.length a - 11))
+          with
+          | Some n when n > 0 -> Some n
+          | Some _ | None -> usage ()
+        else acc)
+      None args
+  in
   let experiments =
-    List.filter (fun a -> a <> "--quick") args |> function
-    | [] | [ "all" ] -> [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication"; "dualcell"; "faults"; "micro"; "search" ]
+    List.filter
+      (fun a ->
+        a <> "--quick" && not (String.starts_with ~prefix:"--parallel" a))
+      args
+    |> function
+    | [] | [ "all" ] ->
+        [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication";
+          "dualcell"; "faults"; "micro"; "search"; "par" ]
     | names -> names
   in
   print_endline "cellstream benchmark harness";
   print_endline
     "reproduction of: Gallet, Jacquelin, Marchal, \"Scheduling complex\n\
      streaming applications on the Cell processor\" (IPDPS 2010)";
-  Printf.printf "experiments: %s%s\n\n" (String.concat ", " experiments)
-    (if quick then " (quick mode)" else "");
+  Printf.printf "experiments: %s%s%s\n\n" (String.concat ", " experiments)
+    (if quick then " (quick mode)" else "")
+    (match parallel with
+    | Some n -> Printf.sprintf " (pool: %d domains)" n
+    | None -> "");
   let run = function
     | "fig6" -> Experiments.fig6 ()
     | "fig7" -> ignore (Experiments.fig7 ())
@@ -37,8 +64,18 @@ let () =
     | "faults" -> Experiments.faults ()
     | "micro" -> Experiments.micro ()
     | "search" -> Experiments.search ()
+    | "par" -> Experiments.search_par ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()
   in
-  List.iter run experiments
+  match parallel with
+  | None -> List.iter run experiments
+  | Some n ->
+      let p = Par.Pool.create ~size:n () in
+      Experiments.pool := Some p;
+      Fun.protect
+        ~finally:(fun () ->
+          Par.Pool.publish_stats p;
+          Par.Pool.shutdown p)
+        (fun () -> List.iter run experiments)

@@ -38,6 +38,8 @@ let strategy_arg =
       ("density-pack", `Density);
       ("lp-round", `Lp_round);
       ("ppe-only", `Ppe_only);
+      ("portfolio", `Portfolio);
+      ("bb", `Bb);
     ]
   in
   let doc =
@@ -45,6 +47,30 @@ let strategy_arg =
       (String.concat ", " (List.map fst strategies))
   in
   Arg.(value & opt (enum strategies) `Milp & info [ "strategy"; "s" ] ~doc)
+
+let parallel_arg =
+  let doc =
+    "Run the search on a domain pool of $(docv) workers (0 or no value: \
+     CELLSTREAM_DOMAINS, else the recommended domain count). Results are \
+     bitwise identical to the sequential run."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "parallel" ] ~docv:"N" ~doc)
+
+(* Run [f] with the pool the --parallel option asks for (none by
+   default); the pool's lifetime is the call, and its worker stats are
+   published into the metrics registry before shutdown. *)
+let with_optional_pool parallel f =
+  match parallel with
+  | None -> f None
+  | Some n ->
+      let size = if n <= 0 then Par.Pool.default_size () else n in
+      Par.Pool.with_pool ~size (fun pool ->
+          Fun.protect
+            ~finally:(fun () -> Par.Pool.publish_stats pool)
+            (fun () -> f (Some pool)))
 
 let gap_arg =
   let doc = "Relative optimality gap for the MILP solver (paper: 0.05)." in
@@ -58,13 +84,24 @@ let platform_of n_spe = Cell.Platform.qs22 ~n_spe ()
 
 let load_graph path = Streaming.Serialize.of_file path
 
-let compute_mapping strategy ~gap ~time_limit platform g =
+let compute_mapping strategy ~gap ~time_limit ?pool platform g =
   match strategy with
   | `Ppe_only -> Cellsched.Heuristics.ppe_only platform g
   | `Greedy_mem -> Cellsched.Heuristics.greedy_mem platform g
   | `Greedy_cpu -> Cellsched.Heuristics.greedy_cpu platform g
   | `Density -> Cellsched.Heuristics.density_pack platform g
   | `Lp_round -> Cellsched.Heuristics.lp_rounding platform g
+  | `Portfolio -> (Cellsched.Portfolio.solve ?pool platform g).Cellsched.Portfolio.best
+  | `Bb ->
+      let options =
+        {
+          Cellsched.Mapping_search.default_options with
+          rel_gap = gap;
+          time_limit;
+        }
+      in
+      (Cellsched.Mapping_search.solve ~options ?pool platform g)
+        .Cellsched.Mapping_search.mapping
   | `Milp ->
       let options =
         {
@@ -73,7 +110,8 @@ let compute_mapping strategy ~gap ~time_limit platform g =
           time_limit;
         }
       in
-      (Cellsched.Milp_solver.solve ~options platform g).Cellsched.Milp_solver.mapping
+      (Cellsched.Milp_solver.solve ~options ?pool platform g)
+        .Cellsched.Milp_solver.mapping
 
 let report_mapping platform g mapping =
   Format.printf "%a@." (Cellsched.Mapping.pp platform g) mapping;
@@ -199,11 +237,14 @@ let info_cmd =
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run path n_spe strategy gap time_limit metrics force =
+  let run path n_spe strategy gap time_limit parallel metrics force =
     enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
-    let mapping = compute_mapping strategy ~gap ~time_limit platform g in
+    let mapping =
+      with_optional_pool parallel (fun pool ->
+          compute_mapping strategy ~gap ~time_limit ?pool platform g)
+    in
     report_mapping platform g mapping;
     dump_metrics ~force metrics;
     0
@@ -212,7 +253,7 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Compute a mapping of a graph onto the Cell")
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
-      $ time_limit_arg $ metrics_arg $ force_arg)
+      $ time_limit_arg $ parallel_arg $ metrics_arg $ force_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 

@@ -13,29 +13,24 @@ let make_options ?(share_colocated_buffers = false) ?(tight_pipeline = false) ()
    never touches the float state, so metrics-on runs stay bitwise equal
    to metrics-off runs (property-tested in test_obs). *)
 let m_probes =
-  lazy
-    (Obs.Metrics.counter ~help:"Eval probe_move/probe_swap evaluations"
-       "search_eval_probes_total")
+  Obs.Metrics.counter ~help:"Eval probe_move/probe_swap evaluations"
+       "search_eval_probes_total"
 
 let m_moves =
-  lazy
-    (Obs.Metrics.counter ~help:"Journaled apply_move mutations"
-       "search_eval_moves_total")
+  Obs.Metrics.counter ~help:"Journaled apply_move mutations"
+       "search_eval_moves_total"
 
 let m_swaps =
-  lazy
-    (Obs.Metrics.counter ~help:"Journaled apply_swap mutations"
-       "search_eval_swaps_total")
+  Obs.Metrics.counter ~help:"Journaled apply_swap mutations"
+       "search_eval_swaps_total"
 
 let m_row_recomputes =
-  lazy
-    (Obs.Metrics.counter ~help:"Dirty per-PE resource rows recomputed"
-       "search_eval_dirty_rows_total")
+  Obs.Metrics.counter ~help:"Dirty per-PE resource rows recomputed"
+       "search_eval_dirty_rows_total"
 
 let m_sweeps =
-  lazy
-    (Obs.Metrics.counter ~help:"Batched dirty-row recomputation sweeps"
-       "search_eval_row_sweeps_total")
+  Obs.Metrics.counter ~help:"Batched dirty-row recomputation sweeps"
+       "search_eval_row_sweeps_total"
 
 (* Journal entries for [apply_move]/[apply_swap]: the data needed to
    reverse the mutation. *)
@@ -138,12 +133,12 @@ let recompute_dirty_rows t =
   let g = t.g and p = t.platform in
   let n = P.n_pes p in
   if Obs.Metrics.enabled () then begin
-    Obs.Metrics.Counter.inc (Lazy.force m_sweeps);
+    Obs.Metrics.Counter.inc m_sweeps;
     let dirty = ref 0 in
     for pe = 0 to n - 1 do
       if t.row_dirty.(pe) then incr dirty
     done;
-    Obs.Metrics.Counter.add (Lazy.force m_row_recomputes) !dirty
+    Obs.Metrics.Counter.add m_row_recomputes !dirty
   end;
   for pe = 0 to n - 1 do
     if t.row_dirty.(pe) then begin
@@ -455,7 +450,7 @@ let apply_move t ~task ~pe =
   detach t task;
   attach t task pe;
   t.journal <- Move (task, old_pe) :: t.journal;
-  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc (Lazy.force m_moves)
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_moves
 
 let apply_swap t k1 k2 =
   let p1 = t.assignment.(k1) and p2 = t.assignment.(k2) in
@@ -465,7 +460,7 @@ let apply_swap t k1 k2 =
   attach t k1 p2;
   attach t k2 p1;
   t.journal <- Swap (k1, k2) :: t.journal;
-  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc (Lazy.force m_swaps)
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_swaps
 
 let undo t =
   match t.journal with
@@ -520,7 +515,7 @@ let probe_move t ~task ~pe =
   check_pe t pe;
   let old_pe = t.assignment.(task) in
   if old_pe < 0 then invalid_arg "Eval.probe_move: task not assigned";
-  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc (Lazy.force m_probes);
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_probes;
   save_floats t;
   detach t task;
   attach t task pe;
@@ -534,7 +529,7 @@ let probe_move t ~task ~pe =
 let probe_swap t k1 k2 =
   let p1 = t.assignment.(k1) and p2 = t.assignment.(k2) in
   if p1 < 0 || p2 < 0 then invalid_arg "Eval.probe_swap: task not assigned";
-  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc (Lazy.force m_probes);
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_probes;
   save_floats t;
   detach t k1;
   detach t k2;

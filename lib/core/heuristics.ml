@@ -176,22 +176,42 @@ let random ~rng platform g =
   Mapping.make platform g
     (Array.init (G.n_tasks g) (fun _ -> Support.Rng.int rng n))
 
+(* Seeded random *feasible* start: topological placement walk choosing
+   uniformly among the PEs [can_place] admits — the restart generator
+   for portfolio local search. Consumes exactly one [rng] draw per task
+   with at least one admissible PE, so the mapping is a pure function
+   of the seed. *)
+let random_feasible ~rng platform g =
+  let ev = Eval.create_empty platform g in
+  let n = P.n_pes platform in
+  Array.iter
+    (fun k ->
+      let admissible =
+        List.filter (can_place ev k) (List.init n Fun.id)
+      in
+      match admissible with
+      | [] -> Eval.assign ev ~task:k ~pe:0
+      | pes ->
+          let pick = Support.Rng.int rng (List.length pes) in
+          Eval.assign ev ~task:k ~pe:(List.nth pes pick))
+    (G.topological_order g);
+  repair_to_ppe ev;
+  Eval.mapping ev
+
 (* Default-off observability hooks: local-search acceptance counters
-   (probe counts live in Eval). *)
+   (probe counts live in Eval). Registered eagerly at module init so no
+   lazy cell is forced from pool worker domains (racy under OCaml 5). *)
 let m_ls_passes =
-  lazy
-    (Obs.Metrics.counter ~help:"Local-search improvement passes"
-       "search_ls_passes_total")
+  Obs.Metrics.counter ~help:"Local-search improvement passes"
+    "search_ls_passes_total"
 
 let m_ls_moves =
-  lazy
-    (Obs.Metrics.counter ~help:"Local-search single-task moves accepted"
-       "search_ls_moves_accepted_total")
+  Obs.Metrics.counter ~help:"Local-search single-task moves accepted"
+    "search_ls_moves_accepted_total"
 
 let m_ls_swaps =
-  lazy
-    (Obs.Metrics.counter ~help:"Local-search pairwise swaps accepted"
-       "search_ls_swaps_accepted_total")
+  Obs.Metrics.counter ~help:"Local-search pairwise swaps accepted"
+    "search_ls_swaps_accepted_total"
 
 let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
     mapping =
@@ -204,7 +224,7 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
-    if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_passes);
+    if obs then Obs.Metrics.Counter.inc m_ls_passes;
     (* Single-task moves, probed through the engine in O(degree) each. *)
     for k = 0 to G.n_tasks g - 1 do
       let home = Eval.pe_of ev k in
@@ -221,7 +241,7 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
       match !best_move with
       | Some pe ->
           improved := true;
-          if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_moves);
+          if obs then Obs.Metrics.Counter.inc m_ls_moves;
           Eval.apply_move ev ~task:k ~pe
       | None -> ()
     done;
@@ -234,7 +254,7 @@ let local_search ?(options = Eval.default_options) ?(max_passes = 50) platform g
           if feas && t < !best_period -. 1e-12 then begin
             best_period := t;
             improved := true;
-            if obs then Obs.Metrics.Counter.inc (Lazy.force m_ls_swaps);
+            if obs then Obs.Metrics.Counter.inc m_ls_swaps;
             Eval.apply_swap ev k1 k2
           end
         end

@@ -38,6 +38,13 @@ val density_pack : Cell.Platform.t -> Streaming.Graph.t -> Mapping.t
 val random : rng:Support.Rng.t -> Cell.Platform.t -> Streaming.Graph.t -> Mapping.t
 (** Uniformly random PE per task (may be infeasible); for tests. *)
 
+val random_feasible :
+  rng:Support.Rng.t -> Cell.Platform.t -> Streaming.Graph.t -> Mapping.t
+(** Seeded random placement walk in topological order, choosing
+    uniformly among the PEs the incremental feasibility check admits
+    (PPE0 when none), followed by the to-PPE DMA repair pass — the
+    restart generator for {!Portfolio}. A pure function of the seed. *)
+
 val local_search :
   ?options:Eval.options ->
   ?max_passes:int ->

@@ -1,0 +1,40 @@
+type entry = { period : float; fp : int64; arr : int array }
+
+type t = entry option Atomic.t
+
+let entry ~period arr =
+  let arr = Array.copy arr in
+  { period; fp = Mapping.fingerprint_array arr; arr }
+
+let create () = Atomic.make None
+
+let of_option = function
+  | None -> Atomic.make None
+  | Some (period, arr) -> Atomic.make (Some (entry ~period arr))
+
+(* Strict total order: period, then unsigned fingerprint, then the
+   assignment itself lexicographically. No epsilon anywhere — an
+   epsilon relation is not transitive, and only a total order makes
+   the minimum independent of the order in which candidates arrive
+   (the keystone of parallel/sequential bitwise equality). The array
+   tiebreak guarantees antisymmetry even under fingerprint collisions. *)
+let better a b =
+  if a.period < b.period then true
+  else if a.period > b.period then false
+  else
+    let c = Int64.unsigned_compare a.fp b.fp in
+    if c <> 0 then c < 0 else Stdlib.compare a.arr b.arr < 0
+
+let rec offer_entry t e =
+  let cur = Atomic.get t in
+  let improves = match cur with None -> true | Some b -> better e b in
+  if not improves then false
+  else if Atomic.compare_and_set t cur (Some e) then true
+  else offer_entry t e
+
+let offer t ~period arr = offer_entry t (entry ~period arr)
+
+let best t = Atomic.get t
+
+let period t =
+  match Atomic.get t with None -> infinity | Some e -> e.period

@@ -34,6 +34,19 @@ let to_array = Array.copy
 
 let equal = ( = )
 
+(* FNV-1a over PE indices (offset by one so a leading PPE0 run still
+   stirs the state). 64-bit, endian-free, stable across runs — the
+   deterministic tiebreak key for equal-period incumbents. *)
+let fingerprint_array (a : int array) =
+  let h = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun pe ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (pe + 1))) 0x100000001b3L)
+    a;
+  !h
+
+let fingerprint = fingerprint_array
+
 let pp platform graph ppf t =
   Format.fprintf ppf "@[<v>";
   let print_pe pe =

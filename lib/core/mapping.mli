@@ -36,5 +36,13 @@ val to_array : t -> int array
 
 val equal : t -> t -> bool
 
+val fingerprint : t -> int64
+(** Order-sensitive FNV-1a hash of the assignment — a stable,
+    platform-independent key used to break period ties
+    deterministically in parallel searches. *)
+
+val fingerprint_array : int array -> int64
+(** {!fingerprint} on a raw assignment array (no validation). *)
+
 val pp : Cell.Platform.t -> Streaming.Graph.t -> Format.formatter -> t -> unit
 (** Per-PE listing of the hosted tasks. *)

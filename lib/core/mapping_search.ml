@@ -216,12 +216,6 @@ let divisible_feasible st ~pos t =
          ~pool:mem_pool ~total:st.suffix_mem.(pos) ~cap_ppe
      end
 
-(* Valid lower bound on the completion period of the current node; the
-   engine's period over the committed resources is the assigned bound. *)
-let node_bound_exceeds st ~pos ~threshold =
-  Eval.period st.ev >= threshold
-  || not (divisible_feasible st ~pos threshold)
-
 (* Tight node bound via bisection (used for reporting at the root). *)
 let node_bound st ~pos ~hi =
   let lo = ref (Eval.period st.ev) in
@@ -238,31 +232,195 @@ let node_bound st ~pos ~hi =
 exception Limit_hit
 
 (* Default-off observability hooks: per-solve totals, flushed once at
-   the end so the node recursion pays only local ref bumps. *)
+   the end so the node recursion pays only local ref bumps. Registered
+   eagerly at module init — a [Lazy.force] from pool workers would be a
+   racy lazy access. *)
 let m_nodes =
-  lazy
-    (Obs.Metrics.counter ~help:"Mapping branch-and-bound nodes explored"
-       "search_bb_nodes_total")
+  Obs.Metrics.counter ~help:"Mapping branch-and-bound nodes explored"
+    "search_bb_nodes_total"
 
 let m_pruned =
-  lazy
-    (Obs.Metrics.counter
-       ~help:"Mapping branch-and-bound children cut by the divisible bound"
-       "search_bb_pruned_total")
+  Obs.Metrics.counter
+    ~help:"Mapping branch-and-bound children cut by the divisible bound"
+    "search_bb_pruned_total"
 
 let m_incumbents =
-  lazy
-    (Obs.Metrics.counter ~help:"Mapping branch-and-bound incumbent improvements"
-       "search_bb_incumbents_total")
+  Obs.Metrics.counter ~help:"Mapping branch-and-bound incumbent improvements"
+    "search_bb_incumbents_total"
+
+let m_subtrees =
+  Obs.Metrics.counter ~help:"Mapping branch-and-bound frontier subtree tasks"
+    "search_bb_subtrees_total"
+
+(* --- deterministic parallel branch and bound ---------------------------
+
+   The tree is cut at a fixed-size frontier: a breadth-first scout
+   expands the root until ~[frontier_target] open prefixes exist, then
+   each prefix becomes an independent subtree task (fresh state, prefix
+   replayed) over a shared {!Incumbent.t}. The frontier size is a
+   constant — not a function of the pool — so the task list is
+   identical however many domains run it.
+
+   Why the result is independent of execution order (and hence bitwise
+   equal between sequential and parallel runs):
+
+   - the incumbent cell is folded under a strict total order, so its
+     final content depends only on the *set* of leaves offered;
+   - a *deterministic* gap prune compares against a threshold fixed
+     before the search starts ([det_thr], from the initial incumbent),
+     never against the evolving best, so it cuts the same subtrees in
+     every execution;
+   - the *shared* prune compares against the live best strictly
+     ([period > shared], or divisible-infeasible at [shared], which
+     implies every completion is strictly worse than [shared]), so it
+     only ever removes leaves strictly worse than the final best —
+     removing such leaves cannot change the minimum. Timing changes
+     which of them are skipped, affecting node/prune counters but
+     never the returned mapping. *)
+
+let frontier_target = 64
+
+let assignment st =
+  Array.init (G.n_tasks st.g) (fun k -> Eval.pe_of st.ev k)
+
+(* Offer the complete assignment at a leaf; the period pre-check keeps
+   the per-leaf allocation off the common (losing) path. *)
+let offer_leaf inc st =
+  let p = Eval.period st.ev in
+  if p <= Incumbent.period inc then Incumbent.offer inc ~period:p (assignment st)
+  else false
+
+(* Candidate PEs for position [pos]: symmetric SPEs collapsed to the
+   ones in use plus one fresh, most promising (smallest resulting
+   compute load) first; [List.sort] is stable, so ties keep the
+   PPE-before-SPE base order and the ordering is deterministic. *)
+let candidates st spes k =
+  let base =
+    P.ppes st.platform
+    @ List.init (min (st.used_spes + 1) (Array.length spes)) (fun s -> spes.(s))
+  in
+  let key pe =
+    let w = if P.is_ppe st.platform pe then st.w_ppe.(k) else st.w_spe.(k) in
+    Eval.compute_on st.ev pe +. w
+  in
+  List.sort (fun a b -> compare (key a) (key b)) base
+
+(* Prune test for the child just assigned (next open position [pos]).
+   [p >= det_thr] and infeasibility at [det_thr] are the deterministic
+   gap rules; [p > shared] and infeasibility at [shared] are the
+   result-safe sharing rules. One divisible check at the min threshold
+   covers both (infeasibility is monotone: harder at smaller t). *)
+let child_pruned st ~pos ~det_thr ~inc =
+  let p = Eval.period st.ev in
+  let shared = Incumbent.period inc in
+  p >= det_thr || p > shared
+  || not (divisible_feasible st ~pos (Float.min det_thr shared))
+
+let bump_used_spes st spes pe =
+  if
+    P.is_spe st.platform pe
+    && st.used_spes < Array.length spes
+    && pe = spes.(st.used_spes)
+  then st.used_spes <- st.used_spes + 1
+
+let replay st prefix =
+  let spes = Array.of_list (P.spes st.platform) in
+  Array.iteri
+    (fun i pe ->
+      bump_used_spes st spes pe;
+      Eval.assign st.ev ~task:st.order.(i) ~pe)
+    prefix
+
+let unreplay st prefix =
+  for i = Array.length prefix - 1 downto 0 do
+    Eval.unassign st.ev ~task:st.order.(i)
+  done;
+  st.used_spes <- 0
+
+(* Breadth-first frontier expansion on the scout state. Leaves met on
+   the way are offered immediately; returns the open prefixes (FIFO
+   order), counter totals, and whether a limit cut expansion short. *)
+let expand_frontier st ~det_thr ~inc ~deadline ~max_nodes spes =
+  let nk = G.n_tasks st.g in
+  let q = Queue.create () in
+  Queue.push [||] q;
+  let nodes = ref 0 and pruned = ref 0 and incumbents = ref 0 in
+  let limit = ref false in
+  (try
+     while Queue.length q > 0 && Queue.length q < frontier_target do
+       let prefix = Queue.pop q in
+       incr nodes;
+       if !nodes >= max_nodes then raise Limit_hit;
+       if !nodes land 255 = 0 && Unix.gettimeofday () > deadline then
+         raise Limit_hit;
+       replay st prefix;
+       let d = Array.length prefix in
+       if d = nk then begin
+         if offer_leaf inc st then incr incumbents
+       end
+       else begin
+         let k = st.order.(d) in
+         List.iter
+           (fun pe ->
+             if can_place st k pe then begin
+               let was_used = st.used_spes in
+               bump_used_spes st spes pe;
+               Eval.assign st.ev ~task:k ~pe;
+               if child_pruned st ~pos:(d + 1) ~det_thr ~inc then incr pruned
+               else Queue.push (Array.append prefix [| pe |]) q;
+               Eval.unassign st.ev ~task:k;
+               st.used_spes <- was_used
+             end)
+           (candidates st spes k)
+       end;
+       unreplay st prefix
+     done
+   with Limit_hit -> limit := true);
+  let frontier = Array.make (Queue.length q) [||] in
+  let i = ref 0 in
+  Queue.iter (fun p -> frontier.(!i) <- p; incr i) q;
+  (frontier, !nodes, !pruned, !incumbents, !limit)
+
+(* Depth-first search of one subtree on a private state. Returns
+   (nodes, pruned, incumbents, hit_limit). *)
+let run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix =
+  let st = make_state ~share platform g in
+  let spes = Array.of_list (P.spes platform) in
+  let nk = G.n_tasks g in
+  replay st prefix;
+  let nodes = ref 0 and pruned = ref 0 and incumbents = ref 0 in
+  let rec explore pos =
+    incr nodes;
+    if !nodes >= budget then raise Limit_hit;
+    if !nodes land 4095 = 0 && Unix.gettimeofday () > deadline then
+      raise Limit_hit;
+    if pos = nk then begin
+      if offer_leaf inc st then incr incumbents
+    end
+    else begin
+      let k = st.order.(pos) in
+      List.iter
+        (fun pe ->
+          if can_place st k pe then begin
+            let was_used = st.used_spes in
+            bump_used_spes st spes pe;
+            Eval.assign st.ev ~task:k ~pe;
+            if child_pruned st ~pos:(pos + 1) ~det_thr ~inc then incr pruned
+            else explore (pos + 1);
+            Eval.unassign st.ev ~task:k;
+            st.used_spes <- was_used
+          end)
+        (candidates st spes k)
+    end
+  in
+  let hit = (try explore (Array.length prefix); false with Limit_hit -> true) in
+  (!nodes, !pruned, !incumbents, hit)
 
 let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
-    platform g =
-  let st = make_state ~share:options.share_colocated_buffers platform g in
-  let nk = G.n_tasks g in
-  let eval_options =
-    Eval.make_options ~share_colocated_buffers:options.share_colocated_buffers
-      ()
-  in
+    ?pool platform g =
+  let share = options.share_colocated_buffers in
+  let st = make_state ~share platform g in
+  let eval_options = Eval.make_options ~share_colocated_buffers:share () in
   let incumbent_mapping =
     match incumbent with
     | Some m ->
@@ -277,78 +435,53 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
         | Some (_, m) -> m
         | None -> Heuristics.ppe_only platform g)
   in
-  let best = ref (Mapping.to_array incumbent_mapping) in
-  let best_period =
-    ref (Eval.scratch_period ~options:eval_options platform g incumbent_mapping)
+  let init_period =
+    Eval.scratch_period ~options:eval_options platform g incumbent_mapping
   in
-  let nodes = ref 0 in
-  let pruned = ref 0 in
-  let incumbents = ref 0 in
+  let inc =
+    Incumbent.of_option (Some (init_period, Mapping.to_array incumbent_mapping))
+  in
+  (* Fixed before the search: the deterministic gap-prune threshold. *)
+  let det_thr = init_period *. (1. -. options.rel_gap) in
   let deadline = Unix.gettimeofday () +. options.time_limit in
-  let root_bound = node_bound st ~pos:0 ~hi:!best_period in
+  let root_bound = node_bound st ~pos:0 ~hi:init_period in
   let root_bound = Float.max root_bound extra_lower_bound in
   let spes = Array.of_list (P.spes platform) in
-  let rec explore pos =
-    incr nodes;
-    if !nodes land 4095 = 0 && Unix.gettimeofday () > deadline then
-      raise Limit_hit;
-    if !nodes >= options.max_nodes then raise Limit_hit;
-    if pos = nk then begin
-      let t = Eval.period st.ev in
-      if t < !best_period -. 1e-12 then begin
-        best_period := t;
-        incr incumbents;
-        best := Array.init nk (fun k -> Eval.pe_of st.ev k)
-      end
-    end
-    else begin
-      let k = st.order.(pos) in
-      (* Symmetric SPEs: only the ones in use plus a single fresh one. *)
-      let candidates =
-        P.ppes platform
-        @ List.init
-            (min (st.used_spes + 1) (Array.length spes))
-            (fun s -> spes.(s))
-      in
-      (* Promising children first: smallest resulting compute load. *)
-      let key pe =
-        let w = if P.is_ppe platform pe then st.w_ppe.(k) else st.w_spe.(k) in
-        Eval.compute_on st.ev pe +. w
-      in
-      let candidates = List.sort (fun a b -> compare (key a) (key b)) candidates in
-      let visit pe =
-        if can_place st k pe then begin
-          let was_used = st.used_spes in
-          if
-            P.is_spe platform pe
-            && st.used_spes < Array.length spes
-            && pe = spes.(st.used_spes)
-          then
-            st.used_spes <- st.used_spes + 1;
-          Eval.assign st.ev ~task:k ~pe;
-          let threshold = !best_period *. (1. -. options.rel_gap) in
-          if node_bound_exceeds st ~pos:(pos + 1) ~threshold then incr pruned
-          else explore (pos + 1);
-          Eval.unassign st.ev ~task:k;
-          st.used_spes <- was_used
-        end
-      in
-      List.iter visit candidates
-    end
+  let frontier, exp_nodes, exp_pruned, exp_incumbents, exp_limit =
+    expand_frontier st ~det_thr ~inc ~deadline ~max_nodes:options.max_nodes
+      spes
   in
+  (* Per-subtree node budget, fixed by the (deterministic) frontier so
+     budget exhaustion does not depend on scheduling either. *)
+  let budget =
+    max 1 ((options.max_nodes - exp_nodes) / max 1 (Array.length frontier))
+  in
+  let run prefix =
+    run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix
+  in
+  let outcomes =
+    if exp_limit then [||]
+    else
+      match pool with
+      | Some p when Array.length frontier > 1 -> Par.Pool.parallel_map p run frontier
+      | _ -> Array.map run frontier
+  in
+  let fold f init = Array.fold_left f init outcomes in
+  let nodes = fold (fun a (n, _, _, _) -> a + n) exp_nodes in
+  let pruned = fold (fun a (_, p, _, _) -> a + p) exp_pruned in
+  let incumbents = fold (fun a (_, _, i, _) -> a + i) exp_incumbents in
   let optimal_within_gap =
-    try
-      explore 0;
-      true
-    with Limit_hit -> false
+    (not exp_limit) && not (fold (fun a (_, _, _, h) -> a || h) false)
   in
   if Obs.Metrics.enabled () then begin
-    Obs.Metrics.Counter.add (Lazy.force m_nodes) !nodes;
-    Obs.Metrics.Counter.add (Lazy.force m_pruned) !pruned;
-    Obs.Metrics.Counter.add (Lazy.force m_incumbents) !incumbents
+    Obs.Metrics.Counter.add m_nodes nodes;
+    Obs.Metrics.Counter.add m_pruned pruned;
+    Obs.Metrics.Counter.add m_incumbents incumbents;
+    Obs.Metrics.Counter.add m_subtrees (Array.length frontier)
   end;
-  let mapping = Mapping.make platform g !best in
-  let period = !best_period in
+  let e = Option.get (Incumbent.best inc) in
+  let mapping = Mapping.make platform g e.Incumbent.arr in
+  let period = e.Incumbent.period in
   let lower_bound =
     if optimal_within_gap then
       Float.max root_bound (period *. (1. -. options.rel_gap))
@@ -360,6 +493,6 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
     period;
     lower_bound;
     gap = (if period <= 0. then 0. else (period -. lower_bound) /. period);
-    nodes = !nodes;
+    nodes;
     optimal_within_gap;
   }

@@ -16,7 +16,19 @@
       [w_spe/w_ppe] ratio inside a bisection on the period.
 
     Like the paper's use of CPLEX, the search can stop once the incumbent
-    is proven within [rel_gap] of optimal. *)
+    is proven within [rel_gap] of optimal.
+
+    The tree is explored as a fixed set of root subtrees (a
+    breadth-first frontier of constant target size), optionally fanned
+    out over a {!Par.Pool.t}. Incumbents live in an {!Incumbent.t} —
+    a strict total order (period, fingerprint, assignment) folded by
+    retry-CAS — and pruning distinguishes a {e deterministic} gap rule
+    (fixed threshold derived from the initial incumbent) from a
+    {e result-safe} sharing rule (strictly-worse-than-live-best only),
+    so the returned mapping, period and bounds are identical whether
+    the subtrees run sequentially or on any number of domains. Node,
+    prune and incumbent {e counters} do depend on timing in parallel
+    runs, as does early stopping via [max_nodes]/[time_limit]. *)
 
 type options = {
   rel_gap : float;  (** Relative optimality gap (paper: 0.05). *)
@@ -46,10 +58,12 @@ val solve :
   ?options:options ->
   ?incumbent:Mapping.t ->
   ?extra_lower_bound:float ->
+  ?pool:Par.Pool.t ->
   Cell.Platform.t ->
   Streaming.Graph.t ->
   result
 (** [incumbent] seeds the search (it must be feasible; default: the best
     standard heuristic). [extra_lower_bound] is a known valid lower bound
     on the period (e.g. the root LP relaxation) used to tighten the
-    reported gap. *)
+    reported gap. [pool] fans the root subtrees out over worker domains;
+    the result is bitwise identical to the sequential run (see above). *)

@@ -103,7 +103,7 @@ let solve_exact ~options ~start platform g incumbent =
    own combinatorial relaxation. *)
 let root_lp_row_limit = 2000
 
-let solve_search ~options ~start platform g incumbent =
+let solve_search ~options ~start ?pool platform g incumbent =
   let root_lp_bound =
     if not options.root_lp then 0.
     else begin
@@ -137,7 +137,7 @@ let solve_search ~options ~start platform g incumbent =
   in
   let r =
     Mapping_search.solve ~options:search_options ~incumbent
-      ~extra_lower_bound:root_lp_bound platform g
+      ~extra_lower_bound:root_lp_bound ?pool platform g
   in
   (* Polish the incumbent; this can only improve it, and the bound remains
      valid. (The plain local search is conservative under buffer sharing:
@@ -158,7 +158,7 @@ let solve_search ~options ~start platform g incumbent =
     ~lower_bound:r.Mapping_search.lower_bound
     ~proven:r.Mapping_search.optimal_within_gap ~nodes:r.Mapping_search.nodes
 
-let solve ?(options = default_options) platform g =
+let solve ?(options = default_options) ?pool platform g =
   let start = Unix.gettimeofday () in
   let incumbent =
     match
@@ -170,5 +170,5 @@ let solve ?(options = default_options) platform g =
   in
   match pick_engine options platform g with
   | Exact -> solve_exact ~options ~start platform g incumbent
-  | Search -> solve_search ~options ~start platform g incumbent
+  | Search -> solve_search ~options ~start ?pool platform g incumbent
   | Auto -> assert false

@@ -44,7 +44,15 @@ type result = {
   solve_time : float;  (** Wall-clock seconds. *)
 }
 
-val solve : ?options:options -> Cell.Platform.t -> Streaming.Graph.t -> result
+val solve :
+  ?options:options ->
+  ?pool:Par.Pool.t ->
+  Cell.Platform.t ->
+  Streaming.Graph.t ->
+  result
+(** [pool] parallelizes the [`Search] engine's branch and bound (the
+    [`Exact] engine ignores it); the result is bitwise identical to the
+    sequential run — see {!Mapping_search.solve}. *)
 
 val predicted_throughput : result -> float
 (** Synonym of [r.throughput]: the theoretical throughput of the mapping,

@@ -1,0 +1,85 @@
+module G = Streaming.Graph
+module P = Cell.Platform
+
+type candidate = {
+  name : string;
+  mapping : Mapping.t;
+  period : float;
+  feasible : bool;
+}
+
+type result = {
+  best : Mapping.t;
+  period : float;
+  candidates : candidate list;
+}
+
+let default_restarts = 6
+let default_seed = 0x5EED
+
+let m_candidates =
+  Obs.Metrics.counter ~help:"Portfolio strategies and restarts evaluated"
+    "portfolio_candidates_total"
+
+(* One entrant: produce a mapping, score it canonically, and offer it
+   to the shared incumbent. Every entrant builds its own Eval states
+   (inside the heuristics and the local search), so entrants share
+   nothing but the incumbent cell; [Eval.scratch_period] makes the
+   period a canonical recomputation, bitwise independent of which
+   worker ran the entrant. *)
+let run_entrant ~eval_options ~max_passes ~inc platform g (name, make_start) =
+  let start = make_start () in
+  let mapping =
+    if Steady_state.feasible platform g start then
+      Heuristics.local_search ~options:eval_options ~max_passes platform g
+        start
+    else start
+  in
+  let feasible = Eval.scratch_feasible ~options:eval_options platform g mapping in
+  let period =
+    if feasible then Eval.scratch_period ~options:eval_options platform g mapping
+    else infinity
+  in
+  if feasible then
+    ignore (Incumbent.offer inc ~period (Mapping.to_array mapping));
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_candidates;
+  { name; mapping; period; feasible }
+
+let solve ?pool ?(restarts = default_restarts) ?(seed = default_seed)
+    ?(max_passes = 50) ?(share_colocated_buffers = false) platform g =
+  let eval_options =
+    Eval.make_options ~share_colocated_buffers ()
+  in
+  let entrants =
+    Array.of_list
+      ([
+         (* The safety net: always feasible, never worth local search. *)
+         ("ppe-only", fun () -> Heuristics.ppe_only platform g);
+         ("greedy-mem", fun () -> Heuristics.greedy_mem platform g);
+         ("greedy-cpu", fun () -> Heuristics.greedy_cpu platform g);
+       ]
+      @ List.init restarts (fun i ->
+            ( Printf.sprintf "restart-%d" i,
+              fun () ->
+                (* Independent stream per restart: the draw sequence of
+                   entrant i never depends on how many others ran. *)
+                let rng = Support.Rng.create (seed + (1000003 * i)) in
+                Heuristics.random_feasible ~rng platform g )))
+  in
+  let inc = Incumbent.create () in
+  let run = run_entrant ~eval_options ~max_passes ~inc platform g in
+  let candidates =
+    match pool with
+    | Some p when Array.length entrants > 1 -> Par.Pool.parallel_map p run entrants
+    | _ -> Array.map run entrants
+  in
+  let e =
+    match Incumbent.best inc with
+    | Some e -> e
+    | None -> (* ppe-only is always offered *) assert false
+  in
+  {
+    best = Mapping.make platform g e.Incumbent.arr;
+    period = e.Incumbent.period;
+    candidates = Array.to_list candidates;
+  }

@@ -1,0 +1,44 @@
+(** Portfolio mapping search: race the constructive heuristics and a
+    set of seeded random restarts, keep the best.
+
+    Entrants — GreedyMem, GreedyCpu (each polished by
+    {!Heuristics.local_search}), the PPE-only safety net, and
+    [restarts] seeded {!Heuristics.random_feasible} walks (each with
+    its own [Support.Rng] stream derived from [seed], also polished) —
+    run independently on private {!Eval} states and fold their scores
+    into a shared {!Incumbent.t}. Periods are canonical
+    ({!Eval.scratch_period}) and the incumbent order is strict and
+    total (period, then fingerprint), so the winner is a pure function
+    of [(seed, restarts, graph, platform)]: running on a {!Par.Pool.t}
+    of any size returns bitwise the same mapping and period as the
+    sequential fold. *)
+
+val default_restarts : int
+(** 6 *)
+
+val default_seed : int
+
+type candidate = {
+  name : string;
+  mapping : Mapping.t;  (** after local search *)
+  period : float;  (** canonical; [infinity] when infeasible *)
+  feasible : bool;
+}
+
+type result = {
+  best : Mapping.t;
+  period : float;
+  candidates : candidate list;  (** in entrant order, for reporting *)
+}
+
+val solve :
+  ?pool:Par.Pool.t ->
+  ?restarts:int ->
+  ?seed:int ->
+  ?max_passes:int ->
+  ?share_colocated_buffers:bool ->
+  Cell.Platform.t ->
+  Streaming.Graph.t ->
+  result
+(** Defaults: [restarts = 6], [seed = 0x5EED], [max_passes = 50] (local
+    search), sequential when [pool] is absent. *)

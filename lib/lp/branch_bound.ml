@@ -21,24 +21,20 @@ type outcome = {
 (* Default-off observability hooks: totals flushed once per solve so the
    node loop pays nothing beyond three local counters. *)
 let m_nodes =
-  lazy
-    (Obs.Metrics.counter ~help:"Branch-and-bound nodes explored"
-       "lp_bb_nodes_total")
+  Obs.Metrics.counter ~help:"Branch-and-bound nodes explored"
+       "lp_bb_nodes_total"
 
 let m_pruned =
-  lazy
-    (Obs.Metrics.counter ~help:"Nodes pruned against the incumbent bound"
-       "lp_bb_pruned_total")
+  Obs.Metrics.counter ~help:"Nodes pruned against the incumbent bound"
+       "lp_bb_pruned_total"
 
 let m_incumbents =
-  lazy
-    (Obs.Metrics.counter ~help:"Incumbent improvements accepted"
-       "lp_bb_incumbents_total")
+  Obs.Metrics.counter ~help:"Incumbent improvements accepted"
+       "lp_bb_incumbents_total"
 
 let m_gap =
-  lazy
-    (Obs.Metrics.gauge ~help:"Relative gap of the last MILP solve"
-       "lp_bb_last_gap")
+  Obs.Metrics.gauge ~help:"Relative gap of the last MILP solve"
+       "lp_bb_last_gap"
 
 (* A node is a set of tightened bounds plus the bound inherited from its
    parent's relaxation (a valid lower bound on every leaf below it). *)
@@ -122,10 +118,10 @@ let solve ?(options = default_options) ?warm_start problem =
   let finish status bound =
     let gap = relative_gap ~incumbent:!incumbent_obj ~bound in
     if Obs.Metrics.enabled () then begin
-      Obs.Metrics.Counter.add (Lazy.force m_nodes) !nodes;
-      Obs.Metrics.Counter.add (Lazy.force m_pruned) !pruned;
-      Obs.Metrics.Counter.add (Lazy.force m_incumbents) !incumbents;
-      Obs.Metrics.Gauge.set (Lazy.force m_gap)
+      Obs.Metrics.Counter.add m_nodes !nodes;
+      Obs.Metrics.Counter.add m_pruned !pruned;
+      Obs.Metrics.Counter.add m_incumbents !incumbents;
+      Obs.Metrics.Gauge.set m_gap
         (if gap = infinity then Float.nan else gap)
     end;
     {

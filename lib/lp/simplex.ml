@@ -4,21 +4,19 @@ type stats = { mutable solves : int; mutable total_iterations : int }
 
 let stats = { solves = 0; total_iterations = 0 }
 
-(* Default-off observability hooks (see lib/obs): registered lazily so
-   an uninstrumented run never touches the registry. *)
+(* Default-off observability hooks (see lib/obs): registered eagerly at
+   module init — forcing a lazy cell from several domains is racy. *)
 let m_solves =
-  lazy (Obs.Metrics.counter ~help:"LP relaxations solved" "lp_simplex_solves_total")
+  Obs.Metrics.counter ~help:"LP relaxations solved" "lp_simplex_solves_total"
 
 let m_pivots =
-  lazy
-    (Obs.Metrics.counter ~help:"Simplex pivots (phase 1 + phase 2)"
-       "lp_simplex_pivots_total")
+  Obs.Metrics.counter ~help:"Simplex pivots (phase 1 + phase 2)"
+       "lp_simplex_pivots_total"
 
 let m_iterations =
-  lazy
-    (Obs.Metrics.histogram ~help:"Pivots per solve"
+  Obs.Metrics.histogram ~help:"Pivots per solve"
        ~buckets:(Obs.Metrics.Histogram.log_buckets ~lo:1. ~factor:2. ~count:24 ())
-       "lp_simplex_iterations_per_solve")
+       "lp_simplex_iterations_per_solve"
 
 (* Tolerances. *)
 let dual_tol = 1e-7  (* reduced-cost optimality threshold *)
@@ -396,7 +394,7 @@ let solve ?lb:lb_over ?ub:ub_over problem =
     }
   in
   stats.solves <- stats.solves + 1;
-  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc (Lazy.force m_solves);
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_solves;
   let max_iters = max 20_000 (4 * (m + n)) in
   let run_phase () = optimize tab ~max_iters in
   try
@@ -442,8 +440,8 @@ let solve ?lb:lb_over ?ub:ub_over problem =
     let iterations = iters1 + iters2 in
     stats.total_iterations <- stats.total_iterations + iterations;
     if Obs.Metrics.enabled () then begin
-      Obs.Metrics.Counter.add (Lazy.force m_pivots) iterations;
-      Obs.Metrics.Histogram.observe (Lazy.force m_iterations)
+      Obs.Metrics.Counter.add m_pivots iterations;
+      Obs.Metrics.Histogram.observe m_iterations
         (float_of_int iterations)
     end;
     Optimal { x = xsol; objective; iterations }

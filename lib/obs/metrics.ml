@@ -1,30 +1,49 @@
-module Counter = struct
-  type t = { mutable c : int }
+(* Domain-safety: every metric value lives in an [Atomic.t] (plain
+   [incr]/[fetch_and_add] for ints, retry-CAS for float accumulation),
+   so concurrent updates from multiple domains never lose increments.
+   Registration and traversal share a per-registry mutex because
+   [Hashtbl] is not safe under concurrent mutation; hot paths hoist
+   handles, so the lock is off the increment path. A multi-field
+   histogram observation is not one atomic transaction — a snapshot
+   racing an [observe] can see [count] without the matching [sum] —
+   which is acceptable for monitoring output and documented in the
+   interface. *)
 
-  let inc t = t.c <- t.c + 1
+module Counter = struct
+  type t = { c : int Atomic.t }
+
+  let inc t = Atomic.incr t.c
 
   let add t n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
-    t.c <- t.c + n
+    ignore (Atomic.fetch_and_add t.c n)
 
-  let value t = t.c
+  let value t = Atomic.get t.c
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  type t = { g : float Atomic.t }
 
-  let set t v = t.g <- v
-  let add t v = t.g <- t.g +. v
-  let value t = t.g
+  let set t v = Atomic.set t.g v
+
+  let rec add t v =
+    let cur = Atomic.get t.g in
+    if not (Atomic.compare_and_set t.g cur (cur +. v)) then add t v
+
+  let value t = Atomic.get t.g
 end
 
 module Histogram = struct
   type t = {
     bounds : float array;  (* strictly increasing upper bounds *)
-    counts : int array;  (* length bounds + 1; last = overflow *)
-    mutable sum : float;
-    mutable n : int;
+    counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+    sum : float Atomic.t;
+    n : int Atomic.t;
   }
+
+  let rec add_sum t v =
+    let cur = Atomic.get t.sum in
+    if not (Atomic.compare_and_set t.sum cur (cur +. v)) then add_sum t v
 
   let observe t v =
     let nb = Array.length t.bounds in
@@ -34,17 +53,17 @@ module Histogram = struct
       let mid = (!lo + !hi) / 2 in
       if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
     done;
-    t.counts.(!lo) <- t.counts.(!lo) + 1;
-    t.sum <- t.sum +. v;
-    t.n <- t.n + 1
+    Atomic.incr t.counts.(!lo);
+    add_sum t v;
+    Atomic.incr t.n
 
-  let count t = t.n
-  let sum t = t.sum
+  let count t = Atomic.get t.n
+  let sum t = Atomic.get t.sum
 
   let buckets t =
     Array.init (Array.length t.counts) (fun i ->
         ( (if i < Array.length t.bounds then t.bounds.(i) else infinity),
-          t.counts.(i) ))
+          Atomic.get t.counts.(i) ))
 
   let log_buckets ?(lo = 1e-6) ?(factor = 10. ** (1. /. 3.)) ?(count = 36) () =
     if not (lo > 0.) then invalid_arg "Metrics.log_buckets: lo must be > 0";
@@ -70,16 +89,23 @@ type family = {
 }
 
 type t = {
+  lock : Mutex.t;  (* guards both hashtables and the order lists *)
   families : (string, family) Hashtbl.t;
   mutable order : string list;  (* reversed registration order *)
 }
 
-let create () = { families = Hashtbl.create 32; order = [] }
+let create () =
+  { lock = Mutex.create (); families = Hashtbl.create 32; order = [] }
+
 let default = create ()
 
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let locked registry f =
+  Mutex.lock registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) f
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
 
 let kind_name = function
   | K_counter -> "counter"
@@ -100,7 +126,8 @@ let check_buckets name bounds =
       invalid_arg (name ^ ": bucket bounds must be strictly increasing")
   done
 
-let family registry ~help ~kind ~labels name =
+(* Call with [registry.lock] held. *)
+let family_locked registry ~help ~kind ~labels name =
   match Hashtbl.find_opt registry.families name with
   | Some f ->
       if not (same_kind f.f_kind kind) || f.f_labels <> labels then
@@ -127,18 +154,19 @@ let family registry ~help ~kind ~labels name =
       f
 
 let fresh_metric = function
-  | K_counter -> M_counter { Counter.c = 0 }
-  | K_gauge -> M_gauge { Gauge.g = 0. }
+  | K_counter -> M_counter { Counter.c = Atomic.make 0 }
+  | K_gauge -> M_gauge { Gauge.g = Atomic.make 0. }
   | K_histogram bounds ->
       M_histogram
         {
           Histogram.bounds;
-          counts = Array.make (Array.length bounds + 1) 0;
-          sum = 0.;
-          n = 0;
+          counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          n = Atomic.make 0;
         }
 
-let child f values =
+(* Call with the registry lock held. *)
+let child_locked f values =
   if List.length values <> List.length f.f_labels then
     invalid_arg
       (Printf.sprintf "Metrics: %s expects %d label values" f.f_name
@@ -151,28 +179,32 @@ let child f values =
       f.child_order <- values :: f.child_order;
       m
 
+let register registry ~help ~kind ~labels name values =
+  locked registry (fun () ->
+      child_locked (family_locked registry ~help ~kind ~labels name) values)
+
 let as_counter = function M_counter c -> c | _ -> assert false
 let as_gauge = function M_gauge g -> g | _ -> assert false
 let as_histogram = function M_histogram h -> h | _ -> assert false
 
 let counter ?(registry = default) ?(help = "") name =
-  as_counter (child (family registry ~help ~kind:K_counter ~labels:[] name) [])
+  as_counter (register registry ~help ~kind:K_counter ~labels:[] name [])
 
 let gauge ?(registry = default) ?(help = "") name =
-  as_gauge (child (family registry ~help ~kind:K_gauge ~labels:[] name) [])
+  as_gauge (register registry ~help ~kind:K_gauge ~labels:[] name [])
 
 let histogram ?(registry = default) ?(help = "") ?buckets name =
   let bounds =
     match buckets with Some b -> b | None -> Histogram.log_buckets ()
   in
   as_histogram
-    (child (family registry ~help ~kind:(K_histogram bounds) ~labels:[] name) [])
+    (register registry ~help ~kind:(K_histogram bounds) ~labels:[] name [])
 
 let counter_family ?(registry = default) ?(help = "") name ~labels values =
-  as_counter (child (family registry ~help ~kind:K_counter ~labels name) values)
+  as_counter (register registry ~help ~kind:K_counter ~labels name values)
 
 let gauge_family ?(registry = default) ?(help = "") name ~labels values =
-  as_gauge (child (family registry ~help ~kind:K_gauge ~labels name) values)
+  as_gauge (register registry ~help ~kind:K_gauge ~labels name values)
 
 let histogram_family ?(registry = default) ?(help = "") ?buckets name ~labels
     values =
@@ -180,7 +212,7 @@ let histogram_family ?(registry = default) ?(help = "") ?buckets name ~labels
     match buckets with Some b -> b | None -> Histogram.log_buckets ()
   in
   as_histogram
-    (child (family registry ~help ~kind:(K_histogram bounds) ~labels name) values)
+    (register registry ~help ~kind:(K_histogram bounds) ~labels name values)
 
 (* --- snapshot and export ------------------------------------------------ *)
 
@@ -206,34 +238,37 @@ let sample_of = function
           buckets = Histogram.buckets h }
 
 let snapshot registry =
-  List.rev_map
-    (fun name ->
-      let f = Hashtbl.find registry.families name in
-      {
-        name = f.f_name;
-        help = f.f_help;
-        kind = kind_name f.f_kind;
-        label_names = f.f_labels;
-        samples =
-          List.rev_map
-            (fun values -> (values, sample_of (Hashtbl.find f.children values)))
-            f.child_order;
-      })
-    registry.order
+  locked registry (fun () ->
+      List.rev_map
+        (fun name ->
+          let f = Hashtbl.find registry.families name in
+          {
+            name = f.f_name;
+            help = f.f_help;
+            kind = kind_name f.f_kind;
+            label_names = f.f_labels;
+            samples =
+              List.rev_map
+                (fun values ->
+                  (values, sample_of (Hashtbl.find f.children values)))
+                f.child_order;
+          })
+        registry.order)
 
 let reset registry =
-  Hashtbl.iter
-    (fun _ f ->
+  locked registry (fun () ->
       Hashtbl.iter
-        (fun _ -> function
-          | M_counter c -> c.Counter.c <- 0
-          | M_gauge g -> g.Gauge.g <- 0.
-          | M_histogram h ->
-              Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
-              h.Histogram.sum <- 0.;
-              h.Histogram.n <- 0)
-        f.children)
-    registry.families
+        (fun _ f ->
+          Hashtbl.iter
+            (fun _ -> function
+              | M_counter c -> Atomic.set c.Counter.c 0
+              | M_gauge g -> Atomic.set g.Gauge.g 0.
+              | M_histogram h ->
+                  Array.iter (fun c -> Atomic.set c 0) h.Histogram.counts;
+                  Atomic.set h.Histogram.sum 0.;
+                  Atomic.set h.Histogram.n 0)
+            f.children)
+        registry.families)
 
 (* --- JSON --------------------------------------------------------------- *)
 

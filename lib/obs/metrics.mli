@@ -8,7 +8,16 @@
 
     All hooks across the scheduler are default-off: they test
     {!enabled} — a single bool read — before touching any handle, so
-    the cost with metrics off is one predictable branch per site. *)
+    the cost with metrics off is one predictable branch per site.
+
+    {b Domain safety.} Every value is [Atomic]-backed: concurrent
+    [inc]/[add]/[observe]/[set] from multiple domains never lose
+    updates. Registration, snapshotting and reset serialize on a
+    per-registry mutex, so handles may be created from any domain
+    (hoist them off hot paths — each family call takes the lock). The
+    only relaxation: one histogram observation updates bucket, sum and
+    count as three separate atomic writes, so a concurrent snapshot
+    can catch them out of sync by a single in-flight observation. *)
 
 (** {1 Handles} *)
 

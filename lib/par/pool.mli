@@ -1,0 +1,90 @@
+(** Fixed-size domain pool with per-worker work-stealing deques.
+
+    The pool spawns [size] worker domains at [create] and keeps them
+    until [shutdown]. Each worker owns one {!Spmc_queue.t}; tasks
+    submitted from a worker go to its own deque (falling back to the
+    shared injector when the deque is full), tasks submitted from
+    outside the pool go to a mutex-protected injector queue. Idle
+    workers scan own deque -> injector -> steal (rotating over peers),
+    then park on a condition variable; producers wake sleepers after
+    publishing work, using a sleeper count read after the (sequentially
+    consistent) work publication so wakeups cannot be lost.
+
+    Blocking on results never deadlocks on nested use: when a worker
+    awaits, it helps — running pool tasks until its predicate holds —
+    instead of sleeping.
+
+    Exceptions raised by tasks are captured with their backtraces and
+    re-raised at the join point; combinators re-raise the error of the
+    {e lowest-indexed} failing task, a deterministic choice independent
+    of execution order. *)
+
+type t
+
+val default_size : unit -> int
+(** Pool size from the [CELLSTREAM_DOMAINS] environment variable when
+    it parses as a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?size:int -> ?deque_pow:int -> unit -> t
+(** Spawn [size] workers (default {!default_size}); each worker deque
+    holds [2^deque_pow] tasks (default 10). *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Stop and join all workers. Call only when no submitted work is
+    outstanding (every combinator below awaits its own tasks, so this
+    holds whenever they are used). Idempotent. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+(** {1 Futures} *)
+
+type 'a promise
+
+val submit : t -> (unit -> 'a) -> 'a promise
+val await : t -> 'a promise -> 'a
+(** Re-raises the task's exception with its original backtrace. *)
+
+(** {1 Combinators} *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map; element [i] of the result is produced by
+    exactly one task evaluating [f xs.(i)]. Returns only once every
+    task has finished; if any failed, re-raises the lowest-index
+    error. Empty and singleton arrays are evaluated in the calling
+    domain without touching the pool. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f i] for [0 <= i < n], grouped into
+    contiguous chunks (default: a balanced split over ~4 tasks per
+    worker). Same completion and error semantics as {!parallel_map}. *)
+
+val race : t -> ((cancelled:(unit -> bool) -> 'a) list) -> 'a
+(** Run all entrants concurrently and return the value of whichever
+    completes first (inherently timing-dependent — do not use where
+    determinism is required; the deterministic alternative is
+    [parallel_map] plus an explicit reduction). Losers are not
+    interrupted but can poll [cancelled] to exit early; all entrants
+    have finished when [race] returns. If every entrant raises, the
+    lowest-index error is re-raised. *)
+
+(** {1 Statistics} *)
+
+type worker_stats = {
+  executed : int;       (** tasks run by this worker *)
+  stolen : int;         (** tasks this worker stole from peers *)
+  steal_failures : int; (** steal attempts that found nothing / lost the race *)
+  busy_s : float;       (** seconds spent running tasks *)
+}
+
+val stats : t -> worker_stats array
+
+val publish_stats : t -> unit
+(** Push cumulative deltas since the previous call into the [obs]
+    [par_*] metric families ([par_tasks_total], [par_steals_total],
+    [par_steal_failures_total] counters and the
+    [par_worker_busy_fraction] / [par_pool_size] gauges), labeled by
+    worker index. No-op when metrics are disabled. *)

@@ -1,0 +1,83 @@
+(* SPMC work-stealing ring, after the ebsl micropool queue: the owner
+   pushes at [tail] and pops at [head] optimistically with
+   [fetch_and_add]; thieves move [head] forward by CAS, claiming half
+   the visible elements in one shot. Cells are [option Atomic.t] so
+   occupancy doubles as the generation guard: a slot is reusable only
+   once its previous consumer has cleared it. *)
+
+type 'a t = {
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  mask : int;
+  cells : 'a option Atomic.t array;
+}
+
+let create ?(size_pow = 10) () =
+  let n = 1 lsl size_pow in
+  {
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    mask = n - 1;
+    cells = Array.init n (fun _ -> Atomic.make None);
+  }
+
+let size t =
+  let s = Atomic.get t.tail - Atomic.get t.head in
+  if s < 0 then 0 else s
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  let cell = t.cells.(tail land t.mask) in
+  match Atomic.get cell with
+  | Some _ -> false (* previous generation not yet consumed: full *)
+  | None ->
+      Atomic.set cell (Some v);
+      Atomic.set t.tail (tail + 1);
+      true
+
+(* Spin until the exclusively-claimed cell is visible. The claim
+   (fetch_and_add or CAS on [head]) can race ahead of the producer's
+   [Atomic.set cell] only across generations, which occupancy prevents;
+   in practice the value is already there and this loop does not spin. *)
+let rec take_cell cell =
+  match Atomic.get cell with
+  | Some v ->
+      Atomic.set cell None;
+      v
+  | None ->
+      Domain.cpu_relax ();
+      take_cell cell
+
+let pop t =
+  let old_head = Atomic.fetch_and_add t.head 1 in
+  if old_head >= Atomic.get t.tail then begin
+    (* Overshot: roll back. Only the owner moves [tail], so [tail] is
+       frozen here and concurrent thieves see size <= 0 and back off. *)
+    Atomic.decr t.head;
+    None
+  end
+  else Some (take_cell t.cells.(old_head land t.mask))
+
+let steal victim ~into =
+  let head = Atomic.get victim.head in
+  let tail = Atomic.get victim.tail in
+  let available = tail - head in
+  if available <= 0 then 0
+  else
+    let want = (available + 1) / 2 in
+    let room = into.mask + 1 - size into in
+    let want = if want > room then room else want in
+    if want <= 0 then 0
+    else if not (Atomic.compare_and_set victim.head head (head + want)) then 0
+    else begin
+      (* The CAS transferred exclusive ownership of indices
+         [head, head+want): drain them into the thief's own queue. *)
+      for i = head to head + want - 1 do
+        let v = take_cell victim.cells.(i land victim.mask) in
+        if not (push into v) then
+          (* Cannot happen: [room] was computed against [into]'s size
+             and only [into]'s owner (the thief itself) pushes. *)
+          invalid_arg "Spmc_queue.steal: destination overflow"
+      done;
+      want
+    end

@@ -1,0 +1,51 @@
+(** Single-producer multi-consumer work-stealing queue.
+
+    One {e owner} domain enqueues at the tail and dequeues at the head;
+    any number of {e thief} domains bulk-steal from the head. The design
+    follows the ebsl micropool queue: a fixed-capacity ring of
+    [Atomic.t] cells, a tail index written only by the owner, and a head
+    index advanced by consumers — optimistically ([fetch_and_add], then
+    rollback on overshoot) by the owner, by compare-and-set by thieves.
+
+    Memory-ordering argument (OCaml atomics are sequentially
+    consistent):
+
+    - the owner writes a cell {e before} publishing it by bumping the
+      tail, so any consumer that claimed an index below an observed
+      tail reads a fully initialised cell;
+    - a claimed index is owned exclusively (owner claims by
+      [fetch_and_add], thieves by a successful CAS over the whole
+      stolen range), so the subsequent read+clear of the cell is
+      race-free;
+    - a cell is reused by [push] only after the consumer of the
+      previous generation cleared it — [push] refuses to overwrite an
+      occupied cell — so a slow consumer can never clear a
+      newer-generation value.
+
+    The owner's optimistic dequeue can transiently overshoot the tail;
+    the owner is single-threaded, so the tail is frozen while the
+    overshoot is rolled back and thieves observe a non-positive size
+    and simply fail their steal. *)
+
+type 'a t
+
+val create : ?size_pow:int -> unit -> 'a t
+(** Ring of [2^size_pow] slots (default 10, i.e. 1024). *)
+
+val push : 'a t -> 'a -> bool
+(** Owner only. [false] when the ring is full (the next slot has not
+    been cleared by its consumer yet). *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the oldest element. *)
+
+val steal : 'a t -> into:'a t -> int
+(** Thief: claim up to half of the victim's elements (at least one when
+    non-empty) and push them onto [into], the thief's own queue (the
+    thief must be [into]'s owner). Returns the number of elements
+    moved; 0 when the victim looked empty, the CAS lost a race, or
+    [into] has no room for a single element. *)
+
+val size : 'a t -> int
+(** Snapshot of the current element count; may be stale (and
+    transiently negative readings are clamped to 0). *)

@@ -158,41 +158,36 @@ let period_of platform g mapping =
 (* Default-off observability: incident-level counters and latency
    distributions, published when the process registry is enabled. *)
 let m_incidents =
-  lazy
-    (Obs.Metrics.counter ~help:"Fault incidents handled by the controller"
-       "resilience_incidents_total")
+  Obs.Metrics.counter ~help:"Fault incidents handled by the controller"
+       "resilience_incidents_total"
 
 let m_migrated =
-  lazy
-    (Obs.Metrics.counter ~help:"Tasks migrated during recoveries"
-       "resilience_migrated_tasks_total")
+  Obs.Metrics.counter ~help:"Tasks migrated during recoveries"
+       "resilience_migrated_tasks_total"
 
 let m_lost =
-  lazy
-    (Obs.Metrics.counter ~help:"In-flight instances re-processed after stalls"
-       "resilience_lost_instances_total")
+  Obs.Metrics.counter ~help:"In-flight instances re-processed after stalls"
+       "resilience_lost_instances_total"
 
 let m_detect =
-  lazy
-    (Obs.Metrics.histogram
+  Obs.Metrics.histogram
        ~help:"Stall-to-detection latency of the completion-rate monitor (s)"
-       "resilience_detection_latency_seconds")
+       "resilience_detection_latency_seconds"
 
 let m_remap =
-  lazy
-    (Obs.Metrics.histogram
+  Obs.Metrics.histogram
        ~help:"Detection-to-resume duration (remap + migration, s)"
-       "resilience_remap_duration_seconds")
+       "resilience_remap_duration_seconds"
 
 let observe_incident (i : incident) =
   if Obs.Metrics.enabled () then begin
-    Obs.Metrics.Counter.inc (Lazy.force m_incidents);
-    Obs.Metrics.Counter.add (Lazy.force m_migrated) i.migrated_tasks;
-    Obs.Metrics.Counter.add (Lazy.force m_lost) i.lost_instances;
-    Obs.Metrics.Histogram.observe (Lazy.force m_detect)
+    Obs.Metrics.Counter.inc m_incidents;
+    Obs.Metrics.Counter.add m_migrated i.migrated_tasks;
+    Obs.Metrics.Counter.add m_lost i.lost_instances;
+    Obs.Metrics.Histogram.observe m_detect
       (i.detection_time -. i.stall_time);
     if not (Float.is_nan i.recovery_time) then
-      Obs.Metrics.Histogram.observe (Lazy.force m_remap)
+      Obs.Metrics.Histogram.observe m_remap
         (i.recovery_time -. i.detection_time)
   end
 

@@ -229,6 +229,50 @@ let test_snapshot_reset () =
     "families survive reset" 3
     (List.length (M.snapshot r))
 
+let test_multidomain_hammer () =
+  (* Four domains hammer one counter, one gauge, one histogram and one
+     shared family while the main domain snapshots concurrently: no
+     update may be lost and registration must be safe from any domain. *)
+  let r = M.create () in
+  let c = M.counter ~registry:r "hammer_total" in
+  let g = M.gauge ~registry:r "hammer_gauge" in
+  let h = M.histogram ~registry:r ~buckets:[| 0.5 |] "hammer_hist" in
+  let domains = 4 and per = 25_000 in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              M.Counter.inc c;
+              M.Gauge.add g 1.;
+              M.Histogram.observe h (float_of_int (i land 1));
+              if i land 1023 = 0 then
+                (* concurrent (idempotent) registration *)
+                M.Counter.inc
+                  (M.counter_family ~registry:r "hammer_fam_total"
+                     ~labels:[ "d" ]
+                     [ string_of_int d ])
+            done))
+  in
+  for _ = 1 to 50 do
+    ignore (M.snapshot r)
+  done;
+  List.iter Domain.join ds;
+  let total = domains * per in
+  Alcotest.(check int) "no lost counter increment" total (M.Counter.value c);
+  Alcotest.(check (float 0.)) "no lost gauge add" (float_of_int total)
+    (M.Gauge.value g);
+  Alcotest.(check int) "no lost observation" total (M.Histogram.count h);
+  (* i land 1 alternates 1,0,...: half the observations are 1. *)
+  Alcotest.(check (float 0.)) "histogram sum" (float_of_int (total / 2))
+    (M.Histogram.sum h);
+  List.iter
+    (fun (_, i) ->
+      Alcotest.(check int) "family child per domain" (per / 1024)
+        (M.Counter.value
+           (M.counter_family ~registry:r "hammer_fam_total" ~labels:[ "d" ]
+              [ string_of_int i ])))
+    (List.init domains (fun i -> ((), i)))
+
 let test_export_parses () =
   let r = M.create () in
   let c = M.counter ~registry:r ~help:"with \"quotes\" and \\ back" "c_total" in
@@ -438,6 +482,8 @@ let () =
           Alcotest.test_case "log-scale default buckets" `Quick
             test_log_buckets;
           Alcotest.test_case "snapshot and reset" `Quick test_snapshot_reset;
+          Alcotest.test_case "multi-domain hammer" `Quick
+            test_multidomain_hammer;
           Alcotest.test_case "JSON and Prometheus exports" `Quick
             test_export_parses;
         ] );

@@ -1,0 +1,441 @@
+(* Tests for the domain pool (lib/par) and the determinism contract of
+   the parallel searches: with the same seeds, the portfolio and the
+   branch-and-bound must return bitwise the same mapping, period and
+   steady-state loads on a pool of any size as they do sequentially. *)
+
+module P = Cell.Platform
+module G = Streaming.Graph
+module SS = Cellsched.Steady_state
+module M = Cellsched.Mapping
+module H = Cellsched.Heuristics
+module Search = Cellsched.Mapping_search
+module Pf = Cellsched.Portfolio
+module Inc = Cellsched.Incumbent
+module R = Simulator.Runtime
+module Pool = Par.Pool
+module Q = Par.Spmc_queue
+
+let pool_sizes = [ 1; 2; 4 ]
+let bits = Int64.bits_of_float
+
+(* ====================================================================== *)
+(* SPMC work-stealing queue                                               *)
+(* ====================================================================== *)
+
+let test_spmc_fifo () =
+  let q = Q.create ~size_pow:3 () in
+  for i = 0 to 7 do
+    Alcotest.(check bool) "push" true (Q.push q i)
+  done;
+  Alcotest.(check bool) "full ring refuses" false (Q.push q 8);
+  Alcotest.(check int) "size" 8 (Q.size q);
+  for i = 0 to 7 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Q.pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Q.pop q);
+  (* The ring is reusable after draining. *)
+  Alcotest.(check bool) "push after drain" true (Q.push q 99);
+  Alcotest.(check (option int)) "pop after drain" (Some 99) (Q.pop q)
+
+let test_spmc_steal () =
+  let victim = Q.create () and mine = Q.create () in
+  for i = 0 to 9 do
+    ignore (Q.push victim i)
+  done;
+  let moved = Q.steal victim ~into:mine in
+  Alcotest.(check int) "steals just over half" 5 moved;
+  Alcotest.(check int) "victim keeps the rest" 5 (Q.size victim);
+  (* The thief gets the oldest elements, in order. *)
+  for i = 0 to 4 do
+    Alcotest.(check (option int)) "stolen order" (Some i) (Q.pop mine)
+  done;
+  Alcotest.(check (option int)) "victim resumes at 5" (Some 5) (Q.pop victim);
+  Alcotest.(check int) "empty steal" 0 (Q.steal mine ~into:victim)
+
+(* ====================================================================== *)
+(* Pool unit tests                                                        *)
+(* ====================================================================== *)
+
+let test_zero_tasks () =
+  Pool.with_pool ~size:2 (fun p ->
+      Alcotest.(check int) "empty map" 0
+        (Array.length (Pool.parallel_map p (fun x -> x) [||]));
+      let hits = ref 0 in
+      Pool.parallel_for p 0 (fun _ -> incr hits);
+      Alcotest.(check int) "empty for" 0 !hits)
+
+let rec tree_sum p depth =
+  if depth = 0 then 1
+  else begin
+    let left = Pool.submit p (fun () -> tree_sum p (depth - 1)) in
+    let right = tree_sum p (depth - 1) in
+    right + Pool.await p left
+  end
+
+let test_single_worker () =
+  (* A worker awaiting nested work must help, not deadlock, even when it
+     is the only worker. *)
+  Pool.with_pool ~size:1 (fun p ->
+      let sq = Pool.parallel_map p (fun i -> i * i) (Array.init 50 Fun.id) in
+      Alcotest.(check int) "map on one worker" (49 * 49) sq.(49);
+      let total = Pool.await p (Pool.submit p (fun () -> tree_sum p 6)) in
+      Alcotest.(check int) "nested on one worker" 64 total)
+
+let test_nested_submit () =
+  Pool.with_pool ~size:2 (fun p ->
+      let total = Pool.await p (Pool.submit p (fun () -> tree_sum p 8)) in
+      Alcotest.(check int) "tree sum" 256 total)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~size:2 (fun p ->
+      (match
+         Pool.parallel_map p
+           (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+           (Array.init 10 Fun.id)
+       with
+      | _ -> Alcotest.fail "parallel_map should re-raise"
+      | exception Boom i ->
+          Alcotest.(check int) "lowest-index error wins" 1 i);
+      let pr = Pool.submit p (fun () -> raise (Boom 42)) in
+      match Pool.await p pr with
+      | _ -> Alcotest.fail "await should re-raise"
+      | exception Boom i -> Alcotest.(check int) "await re-raises" 42 i)
+
+let test_race () =
+  Pool.with_pool ~size:2 (fun p ->
+      let v = Pool.race p [ (fun ~cancelled:_ -> 1); (fun ~cancelled:_ -> 2) ] in
+      Alcotest.(check bool) "a winner's value" true (v = 1 || v = 2);
+      match
+        Pool.race p
+          [
+            (fun ~cancelled:_ -> failwith "first");
+            (fun ~cancelled:_ -> failwith "second");
+          ]
+      with
+      | _ -> Alcotest.fail "all-failing race should raise"
+      | exception Failure m ->
+          Alcotest.(check string) "lowest-index error" "first" m)
+
+let test_stealing_under_contention () =
+  (* A worker fills its own deque with subtasks and then busy-spins
+     without helping. It never pops, so every subtask can only leave its
+     deque by being stolen by a peer. *)
+  Pool.with_pool ~size:4 (fun p ->
+      let n = 64 in
+      let finished = Atomic.make 0 in
+      let driver =
+        Pool.submit p (fun () ->
+            for _ = 1 to n do
+              ignore (Pool.submit p (fun () -> Atomic.incr finished))
+            done;
+            let deadline = Unix.gettimeofday () +. 60. in
+            while Atomic.get finished < n do
+              if Unix.gettimeofday () > deadline then
+                failwith "subtasks were never stolen";
+              Domain.cpu_relax ()
+            done)
+      in
+      Pool.await p driver;
+      let stats = Pool.stats p in
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+      Alcotest.(check int) "every task ran exactly once" (n + 1)
+        (sum (fun s -> s.Pool.executed));
+      (* Re-steals of already-stolen tasks can push the count above n,
+         never below. *)
+      Alcotest.(check bool) "all subtasks were stolen" true
+        (sum (fun s -> s.Pool.stolen) >= n))
+
+let test_deque_overflow () =
+  (* Ring of 4 slots: nested submissions overflow to the injector and
+     must still all run. *)
+  let p = Pool.create ~size:2 ~deque_pow:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let total =
+        Pool.await p
+          (Pool.submit p (fun () ->
+               let promises = Array.init 64 (fun i -> Pool.submit p (fun () -> i)) in
+               Array.fold_left (fun acc pr -> acc + Pool.await p pr) 0 promises))
+      in
+      Alcotest.(check int) "all overflowed tasks ran" (63 * 64 / 2) total)
+
+let test_pool_stats_shape () =
+  Pool.with_pool ~size:3 (fun p ->
+      Alcotest.(check int) "size" 3 (Pool.size p);
+      ignore (Pool.parallel_map p (fun i -> i + 1) (Array.init 32 Fun.id));
+      let stats = Pool.stats p in
+      Alcotest.(check int) "one stat row per worker" 3 (Array.length stats);
+      let executed = Array.fold_left (fun a s -> a + s.Pool.executed) 0 stats in
+      Alcotest.(check int) "executed counts every task" 32 executed)
+
+(* ====================================================================== *)
+(* Incumbent total order                                                  *)
+(* ====================================================================== *)
+
+let test_incumbent_tiebreak () =
+  let a = [| 0; 1; 2 |] and b = [| 0; 2; 1 |] in
+  let winner offers =
+    let inc = Inc.create () in
+    List.iter (fun arr -> ignore (Inc.offer inc ~period:1.0 arr)) offers;
+    (Option.get (Inc.best inc)).Inc.arr
+  in
+  let w1 = winner [ a; b ] and w2 = winner [ b; a ] in
+  Alcotest.(check bool) "winner independent of offer order" true (w1 = w2);
+  let expected =
+    if
+      Int64.unsigned_compare
+        (M.fingerprint_array a)
+        (M.fingerprint_array b)
+      <= 0
+    then a
+    else b
+  in
+  Alcotest.(check bool) "winner is the fingerprint minimum" true
+    (w1 = expected);
+  let inc = Inc.create () in
+  Alcotest.(check bool) "first offer lands" true (Inc.offer inc ~period:1.0 a);
+  Alcotest.(check bool) "worse period rejected" false
+    (Inc.offer inc ~period:2.0 b);
+  Alcotest.(check bool) "equal entry rejected" false
+    (Inc.offer inc ~period:1.0 a);
+  Alcotest.(check bool) "better period accepted" true
+    (Inc.offer inc ~period:0.5 b);
+  Alcotest.(check (float 0.)) "period reads the best" 0.5 (Inc.period inc)
+
+(* ====================================================================== *)
+(* B&B tie-break regression: equal-period optima                          *)
+(* ====================================================================== *)
+
+let test_bb_tiebreak_regression () =
+  (* A symmetric diamond on 1 PPE + 2 identical SPEs has several optima
+     of exactly equal period. Seeded with a deliberately poor incumbent
+     and rel_gap = 0, the search must return the brute-force optimal
+     period and the same mapping on every run and on every pool size. *)
+  let t name = Streaming.Task.make ~name ~w_ppe:1e-3 ~w_spe:1e-3 () in
+  let g =
+    G.of_tasks
+      [| t "src"; t "left"; t "right"; t "sink" |]
+      [ (0, 1, 512.); (0, 2, 512.); (1, 3, 512.); (2, 3, 512.) ]
+  in
+  let platform = P.make ~n_ppe:1 ~n_spe:2 () in
+  let n_pes = P.n_pes platform and nk = G.n_tasks g in
+  let best_bf = ref infinity in
+  let code_to_arr code =
+    let arr = Array.make nk 0 in
+    let c = ref code in
+    for k = 0 to nk - 1 do
+      arr.(k) <- !c mod n_pes;
+      c := !c / n_pes
+    done;
+    arr
+  in
+  let total = int_of_float (float_of_int n_pes ** float_of_int nk) in
+  for code = 0 to total - 1 do
+    let m = M.make platform g (code_to_arr code) in
+    if SS.feasible platform g m then begin
+      let p = SS.period platform (SS.loads platform g m) in
+      if p < !best_bf then best_bf := p
+    end
+  done;
+  let options = { Search.default_options with rel_gap = 0. } in
+  let incumbent = H.ppe_only platform g in
+  let solve ?pool () = Search.solve ~options ~incumbent ?pool platform g in
+  let r0 = solve () in
+  Alcotest.(check bool) "period = brute-force optimum" true
+    (bits r0.Search.period = bits !best_bf);
+  let r1 = solve () in
+  Alcotest.(check bool) "rerun returns the same mapping" true
+    (M.to_array r1.Search.mapping = M.to_array r0.Search.mapping);
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          let r = solve ~pool:p () in
+          Alcotest.(check bool)
+            (Printf.sprintf "pool=%d same mapping" size)
+            true
+            (M.to_array r.Search.mapping = M.to_array r0.Search.mapping);
+          Alcotest.(check bool)
+            (Printf.sprintf "pool=%d same period bits" size)
+            true
+            (bits r.Search.period = bits r0.Search.period)))
+    pool_sizes
+
+(* ====================================================================== *)
+(* Determinism properties: parallel bitwise = sequential                  *)
+(* ====================================================================== *)
+
+let bits_eq_arrays name a b =
+  if Array.length a <> Array.length b then
+    QCheck.Test.fail_reportf "%s: length %d vs %d" name (Array.length a)
+      (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        QCheck.Test.fail_reportf "%s.(%d): %.17g vs %.17g" name i x b.(i))
+    a
+
+let check_loads_equal (a : SS.loads) (b : SS.loads) =
+  bits_eq_arrays "compute" a.SS.compute b.SS.compute;
+  bits_eq_arrays "bytes_in" a.SS.bytes_in b.SS.bytes_in;
+  bits_eq_arrays "bytes_out" a.SS.bytes_out b.SS.bytes_out;
+  bits_eq_arrays "memory" a.SS.memory b.SS.memory;
+  bits_eq_arrays "link_out" a.SS.link_out b.SS.link_out;
+  bits_eq_arrays "link_in" a.SS.link_in b.SS.link_in
+
+let random_graph rng n =
+  Daggen.Generator.generate ~rng
+    ~shape:
+      { Daggen.Generator.n; fat = 0.5; density = 0.4; regularity = 0.5; jump = 2 }
+    ~costs:Daggen.Generator.default_costs
+
+let random_platform rng =
+  P.make ~n_ppe:1 ~n_spe:(2 + Support.Rng.int rng 3) ()
+
+(* Each case solves sequentially, then re-solves on pools of 1, 2 and 4
+   domains and demands bitwise-equal mapping, period and steady-state
+   loads. 60 portfolio + 60 B&B cases x 3 pool sizes. *)
+
+let portfolio_deterministic =
+  QCheck.Test.make ~count:60
+    ~name:"parallel portfolio bitwise = sequential (pools of 1/2/4)"
+    QCheck.(pair (int_bound 1_000_000) (int_range 6 16))
+    (fun (seed, n) ->
+      let rng = Support.Rng.create seed in
+      let g = random_graph rng n in
+      let platform = random_platform rng in
+      let r0 = Pf.solve ~restarts:3 platform g in
+      let a0 = M.to_array r0.Pf.best in
+      let l0 = SS.loads platform g r0.Pf.best in
+      List.iter
+        (fun size ->
+          Pool.with_pool ~size (fun p ->
+              let r = Pf.solve ~pool:p ~restarts:3 platform g in
+              if M.to_array r.Pf.best <> a0 then
+                QCheck.Test.fail_reportf "pool=%d: mapping differs" size;
+              if bits r.Pf.period <> bits r0.Pf.period then
+                QCheck.Test.fail_reportf "pool=%d: period %.17g vs %.17g" size
+                  r.Pf.period r0.Pf.period;
+              check_loads_equal (SS.loads platform g r.Pf.best) l0))
+        pool_sizes;
+      true)
+
+let bb_deterministic =
+  (* A node budget (not a wall-clock limit) so early stopping is itself
+     deterministic; counters like [nodes] are the one timing-dependent
+     output and are deliberately not compared. *)
+  let options =
+    { Search.default_options with max_nodes = 20_000; time_limit = 3600. }
+  in
+  QCheck.Test.make ~count:60
+    ~name:"parallel B&B bitwise = sequential (pools of 1/2/4)"
+    QCheck.(pair (int_bound 1_000_000) (int_range 5 10))
+    (fun (seed, n) ->
+      let rng = Support.Rng.create seed in
+      let g = random_graph rng n in
+      let platform = random_platform rng in
+      let r0 = Search.solve ~options platform g in
+      let a0 = M.to_array r0.Search.mapping in
+      let l0 = SS.loads platform g r0.Search.mapping in
+      List.iter
+        (fun size ->
+          Pool.with_pool ~size (fun p ->
+              let r = Search.solve ~options ~pool:p platform g in
+              if M.to_array r.Search.mapping <> a0 then
+                QCheck.Test.fail_reportf "pool=%d: mapping differs" size;
+              if bits r.Search.period <> bits r0.Search.period then
+                QCheck.Test.fail_reportf "pool=%d: period %.17g vs %.17g" size
+                  r.Search.period r0.Search.period;
+              if bits r.Search.lower_bound <> bits r0.Search.lower_bound then
+                QCheck.Test.fail_reportf "pool=%d: lower bound differs" size;
+              if r.Search.optimal_within_gap <> r0.Search.optimal_within_gap
+              then QCheck.Test.fail_reportf "pool=%d: optimality flag differs" size;
+              check_loads_equal (SS.loads platform g r.Search.mapping) l0))
+        pool_sizes;
+      true)
+
+(* ====================================================================== *)
+(* Cross-layer: simulated steady period vs Steady_state prediction        *)
+(* ====================================================================== *)
+
+let no_overhead =
+  {
+    R.overhead_fraction = 0.;
+    dma_setup_time = 0.;
+    comm_cpu_time = 0.;
+    peek_flush = true;
+  }
+
+let sim_matches_prediction =
+  QCheck.Test.make ~count:30
+    ~name:"simulator steady period tracks Steady_state prediction"
+    QCheck.(pair (int_bound 1_000_000) (int_range 5 12))
+    (fun (seed, n) ->
+      let rng = Support.Rng.create seed in
+      let g = random_graph rng n in
+      let platform = P.make ~n_ppe:1 ~n_spe:3 () in
+      let m =
+        match
+          H.best_feasible platform g
+            (H.standard_candidates ~with_lp:false platform g)
+        with
+        | Some (_, m) -> m
+        | None -> H.ppe_only platform g
+      in
+      let predicted = SS.period platform (SS.loads platform g m) in
+      let instances = 600 in
+      let metrics = R.run ~options:no_overhead platform g m ~instances in
+      let measured = 1. /. metrics.R.steady_throughput in
+      (* The steady window spans the second half of the stream: allow the
+         prediction to be off by one instance over that window plus a
+         small slack for DMA granularity, in either direction. *)
+      let window = float_of_int (instances / 2) in
+      let tol = predicted *. (0.05 +. (2. /. window)) in
+      if measured > predicted +. tol then
+        QCheck.Test.fail_reportf
+          "simulated period %.6g exceeds prediction %.6g by more than %.2g"
+          measured predicted tol;
+      if measured < predicted -. tol then
+        QCheck.Test.fail_reportf
+          "simulated period %.6g beats prediction %.6g by more than %.2g \
+           (prediction is a bound)"
+          measured predicted tol;
+      true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "par"
+    [
+      ( "spmc",
+        [
+          Alcotest.test_case "FIFO, full ring, reuse" `Quick test_spmc_fifo;
+          Alcotest.test_case "steal takes the oldest half" `Quick
+            test_spmc_steal;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "zero tasks" `Quick test_zero_tasks;
+          Alcotest.test_case "single worker" `Quick test_single_worker;
+          Alcotest.test_case "nested submit" `Quick test_nested_submit;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "race" `Quick test_race;
+          Alcotest.test_case "stealing under contention" `Quick
+            test_stealing_under_contention;
+          Alcotest.test_case "deque overflow falls back to injector" `Quick
+            test_deque_overflow;
+          Alcotest.test_case "stats" `Quick test_pool_stats_shape;
+        ] );
+      ( "incumbent",
+        [
+          Alcotest.test_case "strict total order tie-break" `Quick
+            test_incumbent_tiebreak;
+          Alcotest.test_case "B&B equal-optima regression" `Quick
+            test_bb_tiebreak_regression;
+        ] );
+      ( "determinism",
+        [ qt portfolio_deterministic; qt bb_deterministic ] );
+      ("cross-layer", [ qt sim_matches_prediction ]);
+    ]

@@ -899,3 +899,98 @@ let search_par () =
       !best_speedup host;
   Obs.Metrics.set_enabled metrics_were_on;
   print_newline ()
+
+(* Mapping-service latency: cache-hit path (fingerprint + transport +
+   validate) vs solve path (full portfolio run) on every preset graph.
+   The acceptance bar is a >=10x hit-path advantage; in practice the gap
+   is orders of magnitude. BENCH_service.json records both latencies,
+   the speedup, and whether each hit reproduced the stored solve
+   bitwise (identical resubmission => transport is the identity). *)
+let service () =
+  print_endline "== Mapping service: cache-hit path vs solve path ==";
+  let platform = P.qs22 () in
+  let module Pf = Cellsched.Portfolio in
+  let quick = !scale < 1. in
+  let restarts = if quick then 2 else Pf.default_restarts in
+  let hit_reps = 50 in
+  let table =
+    Support.Table.create
+      [ "graph"; "tasks"; "solve"; "hit"; "speedup"; "hit bitwise" ]
+  in
+  let json_rows = ref [] in
+  let min_speedup = ref infinity in
+  let all_bitwise = ref true in
+  List.iter
+    (fun (name, g) ->
+      let request =
+        {
+          Service.Request.label = name;
+          platform;
+          graph = g;
+          strategy = Service.Request.Portfolio { seed = Pf.default_seed; restarts };
+        }
+      in
+      let cache = Service.Cache.create () in
+      let one () =
+        match Service.Batch.run ~cache [ request ] with
+        | [ r ] -> r
+        | _ -> assert false
+      in
+      let solved, t_solve = time_of one in
+      assert (solved.Service.Batch.source = Service.Batch.Solved);
+      (* The hit path is microseconds; amortize over many repeats and
+         keep the minimum mean as the noise-resistant estimate. *)
+      let best = ref infinity in
+      let last = ref solved in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to hit_reps do
+          last := one ()
+        done;
+        let t = (Unix.gettimeofday () -. t0) /. float_of_int hit_reps in
+        if t < !best then best := t
+      done;
+      let t_hit = !best in
+      assert ((!last).Service.Batch.source = Service.Batch.Hit);
+      let bitwise =
+        (!last).Service.Batch.assignment = solved.Service.Batch.assignment
+        && Int64.bits_of_float (!last).Service.Batch.period
+           = Int64.bits_of_float solved.Service.Batch.period
+      in
+      if not bitwise then all_bitwise := false;
+      let speedup = if t_hit > 0. then t_solve /. t_hit else infinity in
+      if speedup < !min_speedup then min_speedup := speedup;
+      json_rows :=
+        Printf.sprintf
+          "    { \"graph\": %S, \"tasks\": %d, \"solve_s\": %.6f, \
+           \"hit_s\": %.9f, \"speedup\": %.1f, \"hit_bitwise\": %b }"
+          name (G.n_tasks g) t_solve t_hit speedup bitwise
+        :: !json_rows;
+      Support.Table.add_row table
+        [
+          name;
+          string_of_int (G.n_tasks g);
+          Printf.sprintf "%.3f s" t_solve;
+          Printf.sprintf "%.1f us" (t_hit *. 1e6);
+          Printf.sprintf "%.0fx" speedup;
+          (if bitwise then "yes" else "NO");
+        ])
+    (graphs ());
+  Support.Table.print table;
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"service\",\n\
+    \  \"hit_reps\": %d,\n\
+    \  \"min_speedup\": %.1f,\n\
+    \  \"all_hits_bitwise\": %b,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    hit_reps !min_speedup !all_bitwise
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "wrote BENCH_service.json";
+  if !min_speedup < 10. then
+    Printf.printf "WARNING: hit-path speedup %.1fx below the 10x target\n"
+      !min_speedup;
+  print_newline ()

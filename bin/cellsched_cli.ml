@@ -8,6 +8,8 @@
      compare    run every strategy side by side on one graph
      schedule   print the periodic steady-state schedule
      faults     inject faults and recover online by remapping
+     batch      answer a stream of mapping requests through the mapping cache
+     cache      inspect or reset a persistent mapping cache
      obs        map + simulate with metrics on, dump the registry
      dot        export a graph to Graphviz
 
@@ -712,6 +714,163 @@ let obs_cmd =
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
       $ time_limit_arg $ instances $ format)
 
+(* --- batch ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let run requests_path n_spe cache_path parallel metrics force =
+    enable_metrics metrics;
+    let contents =
+      match requests_path with
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error m ->
+            Printf.eprintf "cellsched: %s\n" m;
+            exit 2)
+    in
+    (* Lines naming the same graph file share one parse. *)
+    let graphs = Hashtbl.create 8 in
+    let load_graph file =
+      match Hashtbl.find_opt graphs file with
+      | Some g -> g
+      | None ->
+          let g = load_graph file in
+          Hashtbl.add graphs file g;
+          g
+    in
+    let requests =
+      try
+        String.split_on_char '\n' contents
+        |> List.mapi (fun i line ->
+               Service.Request.parse_line ~load_graph ~default_spes:n_spe
+                 (i + 1) line)
+        |> List.filter_map Fun.id
+      with Failure m ->
+        Printf.eprintf "cellsched: %s: %s\n" requests_path m;
+        exit 2
+    in
+    let cache =
+      match cache_path with
+      | Some path -> Service.Cache.load_file path
+      | None -> Service.Cache.create ()
+    in
+    let responses =
+      with_optional_pool parallel (fun pool ->
+          Service.Batch.run ?pool ~cache requests)
+    in
+    List.iter (fun r -> print_string (Service.Batch.render r)) responses;
+    let hits =
+      List.length
+        (List.filter (fun r -> r.Service.Batch.source = Service.Batch.Hit)
+           responses)
+    in
+    Printf.eprintf "batch: %d request(s), %d from cache, %d solved\n"
+      (List.length responses) hits
+      (List.length responses - hits);
+    (match cache_path with
+    | None -> ()
+    | Some path -> (
+        (* Read-modify-write of the named cache file: writing back over
+           the file we loaded is the contract, no --force needed. *)
+        match Service.Cache.save_file ~force:true cache path with
+        | Ok () -> ()
+        | Error m ->
+            Printf.eprintf "cellsched: %s\n" m;
+            exit 2));
+    dump_metrics ~force metrics;
+    0
+  in
+  let requests =
+    let doc =
+      "Request file, or - for stdin. One request per line: \
+       $(i,GRAPH-FILE) [spes=N] [strategy=portfolio|bb] [seed=N] \
+       [restarts=N] [gap=F] [max-nodes=N]; # starts a comment."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUESTS" ~doc)
+  in
+  let cache =
+    let doc =
+      "Persistent mapping cache: loaded before the batch (a missing or \
+       corrupt file starts empty) and written back after. Without this \
+       option the batch still deduplicates in memory."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Answer a stream of mapping requests, deduplicating by canonical \
+          fingerprint and solving only the distinct cache misses")
+    Term.(
+      const run $ requests $ n_spe_arg $ cache $ parallel_arg $ metrics_arg
+      $ force_arg)
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let run path json clear force =
+    if clear then begin
+      match Service.Cache.save_file ~force (Service.Cache.create ()) path with
+      | Ok () ->
+          Printf.printf "wrote %s (empty cache)\n" path;
+          0
+      | Error m ->
+          Printf.eprintf "cellsched: %s\n" m;
+          2
+    end
+    else if not (Sys.file_exists path) then begin
+      Printf.printf "%s: no cache file (a batch run would start empty)\n" path;
+      0
+    end
+    else begin
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      let cache =
+        match Service.Cache.load_string contents with
+        | Ok cache -> cache
+        | Error (cache, reason) ->
+            Printf.eprintf "cellsched: %s: corrupt cache (%s); treating as empty\n"
+              path reason;
+            cache
+      in
+      if json then print_endline (Service.Cache.to_json_string cache)
+      else begin
+        Printf.printf "%s: %d entr%s, ~%d bytes\n" path
+          (Service.Cache.length cache)
+          (if Service.Cache.length cache = 1 then "y" else "ies")
+          (Service.Cache.bytes_used cache);
+        List.iter
+          (fun (e : Service.Cache.entry) ->
+            Printf.printf "  %s  %-28s  feasible=%b  period=%.6g s  %s\n"
+              e.Service.Cache.fingerprint e.Service.Cache.strategy
+              e.Service.Cache.feasible e.Service.Cache.period
+              e.Service.Cache.bottleneck)
+          (Service.Cache.entries cache)
+      end;
+      0
+    end
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Cache file (as written by batch --cache).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the cache as JSON.")
+  in
+  let clear =
+    Arg.(
+      value & flag
+      & info [ "clear" ]
+          ~doc:
+            "Write an empty cache to $(i,FILE) (refuses to overwrite an \
+             existing file without --force).")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect or reset a persistent mapping cache (MRU first)")
+    Term.(const run $ path $ json $ clear $ force_arg)
+
 (* --- dot -------------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -745,6 +904,8 @@ let () =
             schedule_cmd;
             compare_cmd;
             faults_cmd;
+            batch_cmd;
+            cache_cmd;
             obs_cmd;
             dot_cmd;
           ]))

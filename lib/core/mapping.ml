@@ -38,12 +38,9 @@ let equal = ( = )
    stirs the state). 64-bit, endian-free, stable across runs — the
    deterministic tiebreak key for equal-period incumbents. *)
 let fingerprint_array (a : int array) =
-  let h = ref 0xcbf29ce484222325L in
-  Array.iter
-    (fun pe ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (pe + 1))) 0x100000001b3L)
-    a;
-  !h
+  Array.fold_left
+    (fun h pe -> Support.Fnv.add_int h (pe + 1))
+    Support.Fnv.empty a
 
 let fingerprint = fingerprint_array
 

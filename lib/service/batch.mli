@@ -1,0 +1,58 @@
+(** Batched mapping front end: answer a stream of {!Request}s from the
+    {!Cache}, solving only the distinct misses.
+
+    {b Pipeline.} Requests are fingerprinted and classified in order:
+    cache hits are answered by {e transporting} the stored canonical
+    assignment onto the request graph through its own canonical order;
+    duplicate fingerprints within the batch defer to the first
+    occurrence's solve; the remaining distinct misses are dispatched —
+    over a {!Par.Pool.t} when given — to the requested solver
+    ({!Cellsched.Portfolio} or {!Cellsched.Mapping_search}).
+
+    {b Determinism.} Parallelism is {e across} requests only and every
+    solver call is deterministic (PR-4 contract: fixed seeds, node
+    budgets instead of wall-clock cutoffs), so the response list —
+    sources included — is a pure function of (cache state, request
+    list): byte-identical between a sequential per-request loop and
+    pooled batches of any size.
+
+    {b Hit validation.} Canonical fingerprints are invariant under
+    relabeling but only probabilistically distinct, and colour
+    refinement can leave interchangeable-looking tasks that are not.
+    Every transported assignment is therefore validated on the request
+    graph (arity, PE range, and steady-state period within 1 ulp-scale
+    relative tolerance of the cached period); a failed validation
+    bumps [svc_transport_rejects_total] and falls back to a fresh
+    solve — a fingerprint collision can cost time, never correctness.
+
+    Observability ([svc_*] families, default-off like every other
+    layer): requests/hits/misses/transport-rejects counters and a batch
+    latency histogram here; evictions, recoveries and size gauges in
+    {!Cache}. *)
+
+type source =
+  | Hit  (** Answered from the cache (incl. in-batch duplicates). *)
+  | Solved  (** A fresh solver run (misses and validation fallbacks). *)
+
+type response = {
+  request : Request.t;
+  fingerprint : string;
+  source : source;
+  assignment : int array;  (** PE per task id of the {e request} graph. *)
+  period : float;  (** The solver's canonical period. *)
+  feasible : bool;
+  throughput : float;  (** [1 / period] ([0.] when infeasible). *)
+  bottleneck : string;
+}
+
+val solve_request : Request.t -> int array * float
+(** One uncached solver run: the assignment (request task order) and
+    canonical period. Exposed for differential testing. *)
+
+val run : ?pool:Par.Pool.t -> cache:Cache.t -> Request.t list -> response list
+(** Responses in request order. The cache is updated in place with
+    every fresh solve. *)
+
+val render : response -> string
+(** Deterministic multi-line text block (the CLI output format; the
+    differential tests compare these byte-for-byte). *)

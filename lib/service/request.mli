@@ -1,0 +1,53 @@
+(** A mapping request: solve one (graph, platform, solver options)
+    triple. The unit of work of the batched front end ({!Batch}) and
+    the key domain of the mapping cache ({!Cache}).
+
+    Requests are keyed by a {e canonical} fingerprint — 32 hex digits
+    combining {!Streaming.Canonical.fingerprint} of the graph (invariant
+    under task relabeling and edge reordering) with FNV-1a hashes of
+    every platform field and every solver option. Two requests with
+    equal fingerprints describe the same problem up to task relabeling,
+    so a cached solution can be transported between them (subject to the
+    validation described in {!Batch}). *)
+
+type strategy =
+  | Portfolio of { seed : int; restarts : int }
+      (** {!Cellsched.Portfolio.solve}: deterministic for fixed seed and
+          restart count at any pool size (the PR-4 contract). *)
+  | Bb of { rel_gap : float; max_nodes : int }
+      (** {!Cellsched.Mapping_search.solve} under a node budget — a
+          deterministic cutoff, unlike a wall-clock limit. *)
+
+type t = {
+  label : string;  (** User-facing name (e.g. the graph file); not keyed. *)
+  platform : Cell.Platform.t;
+  graph : Streaming.Graph.t;
+  strategy : strategy;
+}
+
+val default_strategy : strategy
+(** [Portfolio] with {!Cellsched.Portfolio.default_seed} and
+    {!Cellsched.Portfolio.default_restarts}. *)
+
+val strategy_to_string : strategy -> string
+(** Stable one-token rendering, e.g.
+    ["portfolio:seed=24301,restarts=6"]. *)
+
+val fingerprint : t -> string
+(** 32 lower-case hex digits: canonical graph hash, then a hash of
+    (graph hash, platform, strategy). *)
+
+val parse_line :
+  load_graph:(string -> Streaming.Graph.t) ->
+  ?default_spes:int ->
+  ?default_strategy:strategy ->
+  int ->
+  string ->
+  t option
+(** Parse one line of a batch request file:
+    {v <graph-file> [spes=N] [strategy=portfolio|bb] [seed=N]
+       [restarts=N] [gap=F] [max-nodes=N] v}
+    Blank lines and [#] comments yield [None]. The graph file is loaded
+    through [load_graph] (callers may memoize). The platform is a QS22
+    with [spes] SPEs (default [default_spes], itself defaulting to 8).
+    @raise Failure with the line number on malformed input. *)

@@ -1,5 +1,27 @@
 exception Parse_error of int * string
 
+(* The format tokenizes on whitespace and strips '#' comments, so task
+   names containing such bytes would corrupt the stream when printed
+   raw (the round-trip bug pinned by test_streaming). Names are
+   percent-encoded on output: every byte that could break tokenization
+   ('#', '=', '%', whitespace, non-printables) becomes "%XX". *)
+let must_escape = function
+  | ' ' | '\t' | '\n' | '\r' | '#' | '%' | '=' -> true
+  | c -> Char.code c < 0x20 || Char.code c > 0x7e
+
+let escape_name name =
+  if not (String.exists must_escape name) then name
+  else begin
+    let buf = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      name;
+    Buffer.contents buf
+  end
+
 let to_string g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "# cellstream application graph\n";
@@ -9,7 +31,7 @@ let to_string g =
       (Printf.sprintf
          "task %s wppe=%.17g wspe=%.17g peek=%d stateful=%d read=%.17g \
           write=%.17g\n"
-         t.Task.name t.Task.w_ppe t.Task.w_spe t.Task.peek
+         (escape_name t.Task.name) t.Task.w_ppe t.Task.w_spe t.Task.peek
          (if t.Task.stateful then 1 else 0)
          t.Task.read_bytes t.Task.write_bytes)
   done;
@@ -17,12 +39,33 @@ let to_string g =
     let { Graph.src; dst; data_bytes } = Graph.edge g e in
     Buffer.add_string buf
       (Printf.sprintf "edge %s %s data=%.17g\n"
-         (Graph.task g src).Task.name
-         (Graph.task g dst).Task.name data_bytes)
+         (escape_name (Graph.task g src).Task.name)
+         (escape_name (Graph.task g dst).Task.name)
+         data_bytes)
   done;
   Buffer.contents buf
 
 let fail lineno fmt = Printf.ksprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+
+let unescape_name lineno word =
+  match String.index_opt word '%' with
+  | None -> word
+  | Some _ ->
+      let buf = Buffer.create (String.length word) in
+      let n = String.length word in
+      let i = ref 0 in
+      while !i < n do
+        (if word.[!i] <> '%' then Buffer.add_char buf word.[!i]
+         else begin
+           if !i + 2 >= n then fail lineno "truncated %%XX escape in %S" word;
+           (match int_of_string_opt ("0x" ^ String.sub word (!i + 1) 2) with
+           | Some code -> Buffer.add_char buf (Char.chr code)
+           | None -> fail lineno "invalid %%XX escape in %S" word);
+           i := !i + 2
+         end);
+        incr i
+      done;
+      Buffer.contents buf
 
 let split_words line =
   String.split_on_char ' ' line
@@ -50,6 +93,7 @@ let int_of lineno key v =
 let parse_task lineno words =
   match words with
   | name :: attrs ->
+      let name = unescape_name lineno name in
       let w_ppe = ref None
       and w_spe = ref None
       and peek = ref 0
@@ -98,7 +142,8 @@ let of_string s =
         in
         Hashtbl.replace ids task.Task.name id
     | "edge" :: src :: dst :: attrs ->
-        let lookup name =
+        let lookup word =
+          let name = unescape_name lineno word in
           match Hashtbl.find_opt ids name with
           | Some id -> id
           | None -> fail lineno "edge references unknown task %S" name

@@ -6,8 +6,14 @@
          [read=<float>] [write=<float>]
     edge <src-name> <dst-name> data=<float>
     v}
-    Task lines must precede the edges that mention them. [to_string] and
-    [of_string] round-trip. *)
+    Task lines must precede the edges that mention them. Task names are
+    free-form non-empty strings: bytes that would break tokenization
+    (whitespace, ['#'], ['='], ['%'], non-printables) are
+    percent-encoded as [%XX] on output and decoded on input, so
+    [of_string (to_string g)] reconstructs [g] exactly — the property
+    test_streaming checks over generated graphs, and the foundation of
+    the canonical fingerprints ({!Canonical}) the service layer keys
+    its mapping cache on. *)
 
 exception Parse_error of int * string
 (** [(line number, message)]. *)

@@ -10,6 +10,7 @@ type t = {
 
 let make ?(peek = 0) ?(stateful = false) ?(read_bytes = 0.) ?(write_bytes = 0.)
     ~name ~w_ppe ~w_spe () =
+  if name = "" then invalid_arg "Task.make: empty name";
   if w_ppe < 0. || w_spe < 0. then invalid_arg "Task.make: negative cost";
   if peek < 0 then invalid_arg "Task.make: negative peek";
   if read_bytes < 0. || write_bytes < 0. then

@@ -161,6 +161,85 @@ let serialize_roundtrip_random =
       let g' = Streaming.Serialize.of_string s in
       s = Streaming.Serialize.to_string g')
 
+(* Stronger property — parse ∘ print = id structurally, with hostile
+   task names mixed in. Pins the escaping bug the canonical-fingerprint
+   work uncovered: names containing whitespace, '#', '=' or '%' used to
+   be printed raw, corrupting the token stream on re-parse. *)
+let graphs_equal a b =
+  Streaming.Graph.n_tasks a = Streaming.Graph.n_tasks b
+  && Streaming.Graph.n_edges a = Streaming.Graph.n_edges b
+  && List.for_all
+       (fun k -> Streaming.Graph.task a k = Streaming.Graph.task b k)
+       (List.init (Streaming.Graph.n_tasks a) Fun.id)
+  && List.for_all
+       (fun e -> Streaming.Graph.edge a e = Streaming.Graph.edge b e)
+       (List.init (Streaming.Graph.n_edges a) Fun.id)
+
+let hostile_names =
+  [|
+    "a b"; "x#y"; "p=q"; "we%ird"; "tab\there"; "new\nline"; "%41";
+    "  lead"; "trail  "; "#lead"; "100% weird = yes";
+  |]
+
+let serialize_parse_print_id =
+  QCheck.Test.make ~count:60 ~name:"parse (print g) = g, hostile names included"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let shape =
+        {
+          Daggen.Generator.n = 1 + Support.Rng.int rng 25;
+          fat = 0.2 +. Support.Rng.float rng 1.0;
+          density = Support.Rng.float rng 1.0;
+          regularity = Support.Rng.float rng 1.0;
+          jump = 1 + Support.Rng.int rng 3;
+        }
+      in
+      let g =
+        Daggen.Generator.generate ~rng ~shape
+          ~costs:Daggen.Generator.default_costs
+      in
+      (* Rename a random subset of tasks to hostile strings. *)
+      let g =
+        Streaming.Graph.map_tasks
+          (fun k t ->
+            if Support.Rng.bool rng then
+              {
+                t with
+                Streaming.Task.name =
+                  Printf.sprintf "%s_%d"
+                    (Support.Rng.choose rng hostile_names)
+                    k;
+              }
+            else t)
+          g
+      in
+      let g' = Streaming.Serialize.of_string (Streaming.Serialize.to_string g) in
+      graphs_equal g g')
+
+let test_hostile_name_roundtrip () =
+  let tasks =
+    Array.mapi
+      (fun i name -> mk_task ~w_ppe:(1e-3 *. float_of_int (i + 1)) name)
+      hostile_names
+  in
+  let edges =
+    List.init (Array.length tasks - 1) (fun k -> (k, k + 1, 64. +. float_of_int k))
+  in
+  let g = Streaming.Graph.of_tasks tasks edges in
+  let g' = Streaming.Serialize.of_string (Streaming.Serialize.to_string g) in
+  Alcotest.(check bool) "structural round-trip" true (graphs_equal g g');
+  Array.iteri
+    (fun i name ->
+      Alcotest.(check string)
+        "name preserved" name
+        (Streaming.Graph.task g' i).Streaming.Task.name)
+    hostile_names
+
+let test_empty_name_rejected () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Task.make: empty name")
+    (fun () -> ignore (Streaming.Task.make ~name:"" ~w_ppe:1. ~w_spe:1. ()))
+
 let map_edges_preserves_structure =
   QCheck.Test.make ~count:50 ~name:"map_edges keeps topology"
     QCheck.(int_bound 100_000)
@@ -316,7 +395,12 @@ let () =
           Alcotest.test_case "errors" `Quick test_serialize_errors;
           Alcotest.test_case "comments" `Quick test_serialize_comments;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "hostile names round-trip" `Quick
+            test_hostile_name_roundtrip;
+          Alcotest.test_case "empty name rejected" `Quick
+            test_empty_name_rejected;
           qt serialize_roundtrip_random;
+          qt serialize_parse_print_id;
         ] );
       ( "dot",
         [

@@ -928,6 +928,8 @@ let service () =
           platform;
           graph = g;
           strategy = Service.Request.Portfolio { seed = Pf.default_seed; restarts };
+          deadline_ms = None;
+          prio = 0;
         }
       in
       let cache = Service.Cache.create () in
@@ -993,4 +995,122 @@ let service () =
   if !min_speedup < 10. then
     Printf.printf "WARNING: hit-path speedup %.1fx below the 10x target\n"
       !min_speedup;
+  print_newline ()
+
+(* Daemon reply latency: a seeded 200-request stream (repeats, mixed
+   priorities, a slice of tight deadlines) driven through the server
+   engine in pipe discipline — handle_line, then poll — with the reply
+   latencies collected by the on_reply hook. The acceptance bar is
+   zero dropped replies: every request line gets exactly one reply
+   (hit, solved, partial, reject or error). BENCH_daemon.json records
+   the p50/p95/p99 reply latency and the reply mix. *)
+let daemon () =
+  print_endline "== Scheduling daemon: seeded request stream ==";
+  let quick = !scale < 1. in
+  let n_requests = if quick then 50 else 200 in
+  let restarts = if quick then 2 else Cellsched.Portfolio.default_restarts in
+  (* Request labels are whitespace-split tokens on the wire. *)
+  let presets =
+    List.map
+      (fun (name, g) ->
+        (String.map (fun c -> if c = ' ' then '-' else c) name, g))
+      (graphs ())
+  in
+  let rng = Support.Rng.create 20100419 in
+  let lines =
+    List.init n_requests (fun i ->
+        let name, _ = List.nth presets (Support.Rng.int rng (List.length presets)) in
+        let spes = [| 4; 6; 8 |].(Support.Rng.int rng 3) in
+        let deadline =
+          (* Every eighth request gets a budget far below a cold solve:
+             those must come back as feasible partials, not drops. *)
+          if Support.Rng.int rng 8 = 0 then " deadline=5" else ""
+        in
+        let prio =
+          match Support.Rng.int rng 4 with
+          | 0 -> " prio=2"
+          | 1 -> " prio=-1"
+          | _ -> ""
+        in
+        Printf.sprintf "%s spes=%d strategy=portfolio seed=%d restarts=%d%s%s id=r%d"
+          name spes Cellsched.Portfolio.default_seed restarts deadline prio i)
+  in
+  let latencies = ref [] in
+  let statuses = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace statuses k (1 + Option.value ~default:0 (Hashtbl.find_opt statuses k))
+  in
+  let on_reply (r : Daemon.Server.reply) =
+    latencies := r.Daemon.Server.latency :: !latencies;
+    bump
+      (match r.Daemon.Server.status with
+      | `Hit -> "hit"
+      | `Solved -> "solved"
+      | `Partial -> "partial"
+      | `Rejected -> "rejected"
+      | `Error _ -> "error")
+  in
+  let config =
+    { Daemon.Server.default_config with bound = n_requests; flush_period = 0. }
+  in
+  let server =
+    Daemon.Server.create ~on_reply
+      ~load_graph:(fun name -> List.assoc name presets)
+      config
+  in
+  let out _ = () in
+  let _, elapsed =
+    time_of (fun () ->
+        List.iter
+          (fun line ->
+            Daemon.Server.handle_line server ~out line;
+            Daemon.Server.poll server)
+          lines;
+        Daemon.Server.finish server)
+  in
+  let stats = Daemon.Server.stats server in
+  let dropped = stats.Daemon.Server.received - stats.Daemon.Server.replies in
+  let sorted =
+    let a = Array.of_list !latencies in
+    Array.sort compare a;
+    a
+  in
+  let percentile q =
+    if Array.length sorted = 0 then 0.
+    else
+      let n = Array.length sorted in
+      let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) i))
+  in
+  let p50 = percentile 0.50 and p95 = percentile 0.95 and p99 = percentile 0.99 in
+  let count k = Option.value ~default:0 (Hashtbl.find_opt statuses k) in
+  Printf.printf
+    "%d request(s) in %.2f s: %d hit, %d solved, %d partial, %d rejected, %d \
+     error(s); %d dropped\n"
+    stats.Daemon.Server.received elapsed (count "hit") (count "solved")
+    (count "partial") (count "rejected") (count "error") dropped;
+  Printf.printf "reply latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n"
+    (p50 *. 1e3) (p95 *. 1e3) (p99 *. 1e3);
+  let oc = open_out "BENCH_daemon.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"daemon\",\n\
+    \  \"requests\": %d,\n\
+    \  \"replies\": %d,\n\
+    \  \"dropped\": %d,\n\
+    \  \"hits\": %d,\n\
+    \  \"solved\": %d,\n\
+    \  \"partials\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"errors\": %d,\n\
+    \  \"elapsed_s\": %.3f,\n\
+    \  \"latency_ms\": { \"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f }\n\
+     }\n"
+    stats.Daemon.Server.received stats.Daemon.Server.replies dropped
+    (count "hit") (count "solved") (count "partial") (count "rejected")
+    (count "error") elapsed (p50 *. 1e3) (p95 *. 1e3) (p99 *. 1e3);
+  close_out oc;
+  print_endline "wrote BENCH_daemon.json";
+  if dropped <> 0 then
+    Printf.printf "WARNING: %d request(s) never got a reply\n" dropped;
   print_newline ()

@@ -9,6 +9,7 @@
      schedule   print the periodic steady-state schedule
      faults     inject faults and recover online by remapping
      batch      answer a stream of mapping requests through the mapping cache
+     serve      long-lived scheduling server (stdin pipe or Unix socket)
      cache      inspect or reset a persistent mapping cache
      obs        map + simulate with metrics on, dump the registry
      dot        export a graph to Graphviz
@@ -86,14 +87,16 @@ let platform_of n_spe = Cell.Platform.qs22 ~n_spe ()
 
 let load_graph path = Streaming.Serialize.of_file path
 
-let compute_mapping strategy ~gap ~time_limit ?pool platform g =
+let compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform g =
   match strategy with
   | `Ppe_only -> Cellsched.Heuristics.ppe_only platform g
   | `Greedy_mem -> Cellsched.Heuristics.greedy_mem platform g
   | `Greedy_cpu -> Cellsched.Heuristics.greedy_cpu platform g
   | `Density -> Cellsched.Heuristics.density_pack platform g
   | `Lp_round -> Cellsched.Heuristics.lp_rounding platform g
-  | `Portfolio -> (Cellsched.Portfolio.solve ?pool platform g).Cellsched.Portfolio.best
+  | `Portfolio ->
+      (Cellsched.Portfolio.solve ?pool ?should_stop platform g)
+        .Cellsched.Portfolio.best
   | `Bb ->
       let options =
         {
@@ -102,7 +105,7 @@ let compute_mapping strategy ~gap ~time_limit ?pool platform g =
           time_limit;
         }
       in
-      (Cellsched.Mapping_search.solve ~options ?pool platform g)
+      (Cellsched.Mapping_search.solve ~options ?should_stop ?pool platform g)
         .Cellsched.Mapping_search.mapping
   | `Milp ->
       let options =
@@ -112,7 +115,7 @@ let compute_mapping strategy ~gap ~time_limit ?pool platform g =
           time_limit;
         }
       in
-      (Cellsched.Milp_solver.solve ~options ?pool platform g)
+      (Cellsched.Milp_solver.solve ~options ?should_stop ?pool platform g)
         .Cellsched.Milp_solver.mapping
 
 let report_mapping platform g mapping =
@@ -239,23 +242,59 @@ let info_cmd =
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run path n_spe strategy gap time_limit parallel metrics force =
+  let run path n_spe strategy gap time_limit timeout parallel metrics force =
     enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
+    (* --timeout is the daemon's deadline hook on the one-shot path: the
+       solver is cancelled when the wall-clock budget expires and its
+       best incumbent so far is reported, clearly marked partial. *)
+    let fired = Atomic.make false in
+    let should_stop =
+      match timeout with
+      | None -> None
+      | Some ms ->
+          if not (Float.is_finite ms && ms > 0.) then begin
+            Printf.eprintf
+              "cellsched: --timeout %g must be a positive number of ms\n" ms;
+            exit 2
+          end;
+          let deadline = Unix.gettimeofday () +. (ms /. 1000.) in
+          Some
+            (fun () ->
+              if Unix.gettimeofday () > deadline then begin
+                Atomic.set fired true;
+                true
+              end
+              else false)
+    in
     let mapping =
       with_optional_pool parallel (fun pool ->
-          compute_mapping strategy ~gap ~time_limit ?pool platform g)
+          compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform
+            g)
     in
+    if Atomic.get fired then
+      Format.printf
+        "PARTIAL: --timeout %g ms expired; showing the best incumbent found@."
+        (Option.get timeout);
     report_mapping platform g mapping;
     dump_metrics ~force metrics;
     0
+  in
+  let timeout =
+    let doc =
+      "Cancel the solve after $(docv) milliseconds of wall-clock time and \
+       report the best (always feasible) incumbent found so far; the output \
+       is then prefixed with a PARTIAL marker. Applies to the portfolio, bb \
+       and milp strategies (the greedy heuristics are effectively instant)."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"MS" ~doc)
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Compute a mapping of a graph onto the Cell")
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
-      $ time_limit_arg $ parallel_arg $ metrics_arg $ force_arg)
+      $ time_limit_arg $ timeout $ parallel_arg $ metrics_arg $ force_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -805,6 +844,114 @@ let batch_cmd =
       const run $ requests $ n_spe_arg $ cache $ parallel_arg $ metrics_arg
       $ force_arg)
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run n_spe bound parallel socket cache_path cache_entries cache_bytes
+      flush_period metrics_file =
+    if bound <= 0 then begin
+      Printf.eprintf "cellsched: --bound must be positive\n";
+      exit 2
+    end;
+    if flush_period < 0. then begin
+      Printf.eprintf "cellsched: --flush-period must be >= 0\n";
+      exit 2
+    end;
+    let concurrency =
+      match parallel with
+      | None -> 1
+      | Some n -> if n <= 0 then Par.Pool.default_size () else n
+    in
+    let config =
+      {
+        Daemon.Server.default_config with
+        default_spes = n_spe;
+        bound;
+        concurrency;
+        cache_path;
+        cache_entries;
+        cache_bytes;
+        flush_period;
+        metrics_file;
+      }
+    in
+    let t =
+      match socket with
+      | Some path -> Daemon.Server.serve_socket config ~path
+      | None ->
+          Daemon.Server.serve_fd config ~input:Unix.stdin ~output:Unix.stdout
+    in
+    let s = Daemon.Server.stats t in
+    Printf.eprintf
+      "serve: %d request(s): %d hit, %d solved, %d partial, %d rejected, %d \
+       malformed\n"
+      s.Daemon.Server.received s.Daemon.Server.hits s.Daemon.Server.solved
+      s.Daemon.Server.partials s.Daemon.Server.rejected s.Daemon.Server.errors;
+    0
+  in
+  let bound =
+    let doc =
+      "Admission bound: maximum queued plus in-flight solves. Further \
+       requests are refused with REJECT <id> overload (cache hits are \
+       always served)."
+    in
+    Arg.(value & opt int 64 & info [ "bound" ] ~docv:"N" ~doc)
+  in
+  let socket =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) instead of serving \
+       stdin/stdout; a stale socket file is replaced and the file is \
+       unlinked on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let cache =
+    let doc =
+      "Persistent mapping cache: loaded warm at start-up, flushed \
+       atomically in the background and on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N" ~doc:"Cache LRU entry bound.")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-bytes" ] ~docv:"N" ~doc:"Cache LRU byte bound.")
+  in
+  let flush_period =
+    let doc =
+      "Seconds between background cache/metrics flushes (0 disables the \
+       periodic flush; shutdown still flushes)."
+    in
+    Arg.(value & opt float 30. & info [ "flush-period" ] ~docv:"SEC" ~doc)
+  in
+  let metrics_file =
+    let doc =
+      "Rewrite $(docv) with the metrics registry at every flush and on \
+       shutdown (Prometheus text, or JSON when $(docv) ends in .json). The \
+       METRICS protocol verb serves the same registry inline."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: a long-lived server answering the batch \
+          request grammar line by line, with deadlines, priorities, \
+          admission control, a warm persistent cache and live metrics")
+    Term.(
+      const run $ n_spe_arg $ bound $ parallel_arg $ socket $ cache
+      $ cache_entries $ cache_bytes $ flush_period $ metrics_file)
+
 (* --- cache ------------------------------------------------------------------ *)
 
 let cache_cmd =
@@ -905,6 +1052,7 @@ let () =
             compare_cmd;
             faults_cmd;
             batch_cmd;
+            serve_cmd;
             cache_cmd;
             obs_cmd;
             dot_cmd;

@@ -340,7 +340,7 @@ let unreplay st prefix =
 (* Breadth-first frontier expansion on the scout state. Leaves met on
    the way are offered immediately; returns the open prefixes (FIFO
    order), counter totals, and whether a limit cut expansion short. *)
-let expand_frontier st ~det_thr ~inc ~deadline ~max_nodes spes =
+let expand_frontier st ~det_thr ~inc ~deadline ~should_stop ~max_nodes spes =
   let nk = G.n_tasks st.g in
   let q = Queue.create () in
   Queue.push [||] q;
@@ -351,8 +351,10 @@ let expand_frontier st ~det_thr ~inc ~deadline ~max_nodes spes =
        let prefix = Queue.pop q in
        incr nodes;
        if !nodes >= max_nodes then raise Limit_hit;
-       if !nodes land 255 = 0 && Unix.gettimeofday () > deadline then
-         raise Limit_hit;
+       if
+         !nodes land 255 = 0
+         && (Unix.gettimeofday () > deadline || should_stop ())
+       then raise Limit_hit;
        replay st prefix;
        let d = Array.length prefix in
        if d = nk then begin
@@ -383,7 +385,8 @@ let expand_frontier st ~det_thr ~inc ~deadline ~max_nodes spes =
 
 (* Depth-first search of one subtree on a private state. Returns
    (nodes, pruned, incumbents, hit_limit). *)
-let run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix =
+let run_subtree ~share ~det_thr ~inc ~budget ~deadline ~should_stop platform g
+    prefix =
   let st = make_state ~share platform g in
   let spes = Array.of_list (P.spes platform) in
   let nk = G.n_tasks g in
@@ -392,8 +395,10 @@ let run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix =
   let rec explore pos =
     incr nodes;
     if !nodes >= budget then raise Limit_hit;
-    if !nodes land 4095 = 0 && Unix.gettimeofday () > deadline then
-      raise Limit_hit;
+    if
+      !nodes land 4095 = 0
+      && (Unix.gettimeofday () > deadline || should_stop ())
+    then raise Limit_hit;
     if pos = nk then begin
       if offer_leaf inc st then incr incumbents
     end
@@ -413,11 +418,17 @@ let run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix =
         (candidates st spes k)
     end
   in
-  let hit = (try explore (Array.length prefix); false with Limit_hit -> true) in
+  let hit =
+    try
+      if Unix.gettimeofday () > deadline || should_stop () then raise Limit_hit;
+      explore (Array.length prefix);
+      false
+    with Limit_hit -> true
+  in
   (!nodes, !pruned, !incumbents, hit)
 
-let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
-    ?pool platform g =
+let solve ?(options = default_options) ?(should_stop = fun () -> false)
+    ?incumbent ?(extra_lower_bound = 0.) ?pool platform g =
   let share = options.share_colocated_buffers in
   let st = make_state ~share platform g in
   let eval_options = Eval.make_options ~share_colocated_buffers:share () in
@@ -448,8 +459,8 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
   let root_bound = Float.max root_bound extra_lower_bound in
   let spes = Array.of_list (P.spes platform) in
   let frontier, exp_nodes, exp_pruned, exp_incumbents, exp_limit =
-    expand_frontier st ~det_thr ~inc ~deadline ~max_nodes:options.max_nodes
-      spes
+    expand_frontier st ~det_thr ~inc ~deadline ~should_stop
+      ~max_nodes:options.max_nodes spes
   in
   (* Per-subtree node budget, fixed by the (deterministic) frontier so
      budget exhaustion does not depend on scheduling either. *)
@@ -457,7 +468,8 @@ let solve ?(options = default_options) ?incumbent ?(extra_lower_bound = 0.)
     max 1 ((options.max_nodes - exp_nodes) / max 1 (Array.length frontier))
   in
   let run prefix =
-    run_subtree ~share ~det_thr ~inc ~budget ~deadline platform g prefix
+    run_subtree ~share ~det_thr ~inc ~budget ~deadline ~should_stop platform g
+      prefix
   in
   let outcomes =
     if exp_limit then [||]

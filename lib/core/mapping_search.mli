@@ -56,6 +56,7 @@ type result = {
 
 val solve :
   ?options:options ->
+  ?should_stop:(unit -> bool) ->
   ?incumbent:Mapping.t ->
   ?extra_lower_bound:float ->
   ?pool:Par.Pool.t ->
@@ -66,4 +67,12 @@ val solve :
     standard heuristic). [extra_lower_bound] is a known valid lower bound
     on the period (e.g. the root LP relaxation) used to tighten the
     reported gap. [pool] fans the root subtrees out over worker domains;
-    the result is bitwise identical to the sequential run (see above). *)
+    the result is bitwise identical to the sequential run (see above).
+
+    [should_stop] is polled periodically during the search (default:
+    never): once it returns [true] the search stops like a node budget
+    running out and returns the best incumbent found so far — never
+    nothing, since the search is seeded with a feasible mapping before
+    the first node. Cancelled results are timing-dependent and therefore
+    outside the bitwise-determinism contract; callers must treat them as
+    {e partial} (the daemon tags such replies explicitly). *)

@@ -46,13 +46,19 @@ type result = {
 
 val solve :
   ?options:options ->
+  ?should_stop:(unit -> bool) ->
   ?pool:Par.Pool.t ->
   Cell.Platform.t ->
   Streaming.Graph.t ->
   result
 (** [pool] parallelizes the [`Search] engine's branch and bound (the
     [`Exact] engine ignores it); the result is bitwise identical to the
-    sequential run — see {!Mapping_search.solve}. *)
+    sequential run — see {!Mapping_search.solve}.
+
+    [should_stop] (default: never) cancels the underlying branch and
+    bound early, in either engine, returning the best incumbent so far
+    with [proven_within_gap = false] — the heuristic seed guarantees a
+    feasible mapping even under immediate cancellation. *)
 
 val predicted_throughput : result -> float
 (** Synonym of [r.throughput]: the theoretical throughput of the mapping,

@@ -45,8 +45,9 @@ let run_entrant ~eval_options ~max_passes ~inc platform g (name, make_start) =
   if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_candidates;
   { name; mapping; period; feasible }
 
-let solve ?pool ?(restarts = default_restarts) ?(seed = default_seed)
-    ?(max_passes = 50) ?(share_colocated_buffers = false) platform g =
+let solve ?pool ?(should_stop = fun () -> false) ?(restarts = default_restarts)
+    ?(seed = default_seed) ?(max_passes = 50) ?(share_colocated_buffers = false)
+    platform g =
   let eval_options =
     Eval.make_options ~share_colocated_buffers ()
   in
@@ -67,7 +68,15 @@ let solve ?pool ?(restarts = default_restarts) ?(seed = default_seed)
                 Heuristics.random_feasible ~rng platform g )))
   in
   let inc = Incumbent.create () in
-  let run = run_entrant ~eval_options ~max_passes ~inc platform g in
+  let run_one = run_entrant ~eval_options ~max_passes ~inc platform g in
+  (* Cancellation skips entrants wholesale — except the ppe-only safety
+     net, which is cheap and guarantees a feasible result even when the
+     deadline has already passed at dispatch. Skipped entrants are
+     dropped from the candidate report. *)
+  let run ((name, _) as entrant) =
+    if name <> "ppe-only" && should_stop () then None
+    else Some (run_one entrant)
+  in
   let candidates =
     match pool with
     | Some p when Array.length entrants > 1 -> Par.Pool.parallel_map p run entrants
@@ -81,5 +90,5 @@ let solve ?pool ?(restarts = default_restarts) ?(seed = default_seed)
   {
     best = Mapping.make platform g e.Incumbent.arr;
     period = e.Incumbent.period;
-    candidates = Array.to_list candidates;
+    candidates = List.filter_map Fun.id (Array.to_list candidates);
   }

@@ -33,6 +33,7 @@ type result = {
 
 val solve :
   ?pool:Par.Pool.t ->
+  ?should_stop:(unit -> bool) ->
   ?restarts:int ->
   ?seed:int ->
   ?max_passes:int ->
@@ -41,4 +42,11 @@ val solve :
   Streaming.Graph.t ->
   result
 (** Defaults: [restarts = 6], [seed = 0x5EED], [max_passes = 50] (local
-    search), sequential when [pool] is absent. *)
+    search), sequential when [pool] is absent.
+
+    [should_stop] (default: never) is checked before each entrant: once
+    it returns [true], remaining entrants other than the always-run
+    ppe-only safety net are skipped (and omitted from [candidates]), so
+    the best-so-far is returned quickly and is always feasible. A
+    cancelled result is timing-dependent — the bitwise-determinism
+    contract only covers runs where [should_stop] never fired. *)

@@ -1,0 +1,623 @@
+module Request = Service.Request
+module Batch = Service.Batch
+module Cache = Service.Cache
+
+(* --- metrics -------------------------------------------------------------- *)
+
+(* Registered eagerly at module initialisation (lazy registration from
+   pool workers would race family creation) and bumped behind the
+   repo-wide [Obs.Metrics.enabled] branch. The serve loops enable
+   metrics on entry: a daemon's METRICS verb is part of its contract. *)
+let m_requests =
+  Obs.Metrics.counter ~help:"Daemon request lines received"
+    "daemon_requests_total"
+
+let m_accepted =
+  Obs.Metrics.counter ~help:"Daemon requests admitted (cache hits included)"
+    "daemon_accepted_total"
+
+let m_rejected =
+  Obs.Metrics.counter ~help:"Daemon requests refused by admission control"
+    "daemon_rejected_total"
+
+let m_hits =
+  Obs.Metrics.counter ~help:"Daemon requests answered from the warm cache"
+    "daemon_hits_total"
+
+let m_solved =
+  Obs.Metrics.counter ~help:"Daemon requests answered by a completed solve"
+    "daemon_solved_total"
+
+let m_partial =
+  Obs.Metrics.counter
+    ~help:"Daemon requests answered with a cancelled solve's best incumbent"
+    "daemon_partial_total"
+
+let m_deadline =
+  Obs.Metrics.counter ~help:"Daemon solves cancelled by their deadline"
+    "daemon_deadline_expired_total"
+
+let m_errors =
+  Obs.Metrics.counter ~help:"Daemon request lines refused as malformed"
+    "daemon_errors_total"
+
+let m_flushes =
+  Obs.Metrics.counter ~help:"Daemon cache persistence flushes"
+    "daemon_cache_flushes_total"
+
+let g_pending =
+  Obs.Metrics.gauge ~help:"Daemon requests admitted but not yet dispatched"
+    "daemon_pending"
+
+let g_inflight =
+  Obs.Metrics.gauge ~help:"Daemon solves currently running" "daemon_inflight"
+
+let h_latency =
+  Obs.Metrics.histogram ~help:"Daemon reply latency (seconds since receipt)"
+    "daemon_reply_seconds"
+
+(* --- configuration -------------------------------------------------------- *)
+
+type config = {
+  default_spes : int;
+  default_strategy : Request.strategy;
+  bound : int;
+  concurrency : int;
+  cache_path : string option;
+  cache_entries : int option;
+  cache_bytes : int option;
+  flush_period : float;
+  metrics_file : string option;
+}
+
+let default_config =
+  {
+    default_spes = 8;
+    default_strategy = Request.default_strategy;
+    bound = 64;
+    concurrency = 1;
+    cache_path = None;
+    cache_entries = None;
+    cache_bytes = None;
+    flush_period = 30.;
+    metrics_file = None;
+  }
+
+(* --- server state --------------------------------------------------------- *)
+
+type status = [ `Hit | `Solved | `Partial | `Rejected | `Error of string ]
+
+type reply = {
+  id : string;
+  status : status;
+  response : Batch.response option;
+  latency : float;
+}
+
+type outcome =
+  | Finished of {
+      assignment : int array;
+      period : float;
+      partial : bool;
+      deadline_hit : bool;
+    }
+  | Crashed of string
+
+type job = {
+  id : string;
+  request : Request.t;
+  out : string -> unit;
+  received : float;
+  deadline : float;  (* absolute seconds; [infinity] when none *)
+  mutable promise : unit Par.Pool.promise option;
+}
+
+type done_item = { job : job; outcome : outcome }
+
+type stats = {
+  received : int;
+  accepted : int;
+  rejected : int;
+  errors : int;
+  hits : int;
+  solved : int;
+  partials : int;
+  replies : int;
+}
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  pool : Par.Pool.t option;
+  admission : job Admission.t;
+  (* Pool workers push completions; only the main loop drains. The
+     cache, the admission queue and every [out] writer are therefore
+     touched exclusively from the main loop. *)
+  completed : done_item Queue.t;
+  completed_mutex : Mutex.t;
+  stop : bool Atomic.t;
+  load_graph : string -> Streaming.Graph.t;
+  on_reply : reply -> unit;
+  mutable line_no : int;
+  mutable auto_id : int;
+  mutable last_flush : float;
+  mutable dirty : bool;
+  mutable received : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable hits : int;
+  mutable solved : int;
+  mutable partials : int;
+  mutable replies : int;
+}
+
+let default_loader () =
+  let table = Hashtbl.create 16 in
+  fun path ->
+    match Hashtbl.find_opt table path with
+    | Some g -> g
+    | None ->
+        let g = Streaming.Serialize.of_file path in
+        Hashtbl.add table path g;
+        g
+
+let create ?(on_reply = fun _ -> ()) ?load_graph config =
+  if config.concurrency <= 0 then
+    invalid_arg "Server.create: non-positive concurrency";
+  if config.flush_period < 0. then
+    invalid_arg "Server.create: negative flush period";
+  let cache =
+    match config.cache_path with
+    | Some path ->
+        Cache.load_file ?max_entries:config.cache_entries
+          ?max_bytes:config.cache_bytes path
+    | None ->
+        Cache.create ?max_entries:config.cache_entries
+          ?max_bytes:config.cache_bytes ()
+  in
+  let pool =
+    if config.concurrency > 1 then
+      Some (Par.Pool.create ~size:config.concurrency ())
+    else None
+  in
+  let load_graph =
+    match load_graph with Some f -> f | None -> default_loader ()
+  in
+  {
+    config;
+    cache;
+    pool;
+    admission = Admission.create ~bound:config.bound;
+    completed = Queue.create ();
+    completed_mutex = Mutex.create ();
+    stop = Atomic.make false;
+    load_graph;
+    on_reply;
+    line_no = 0;
+    auto_id = 0;
+    last_flush = Unix.gettimeofday ();
+    dirty = false;
+    received = 0;
+    accepted = 0;
+    rejected = 0;
+    errors = 0;
+    hits = 0;
+    solved = 0;
+    partials = 0;
+    replies = 0;
+  }
+
+let cache t = t.cache
+
+let stats t =
+  {
+    received = t.received;
+    accepted = t.accepted;
+    rejected = t.rejected;
+    errors = t.errors;
+    hits = t.hits;
+    solved = t.solved;
+    partials = t.partials;
+    replies = t.replies;
+  }
+
+let request_shutdown t = Atomic.set t.stop true
+let shutdown_requested t = Atomic.get t.stop
+
+let idle t =
+  Admission.load t.admission = 0
+  && begin
+       Mutex.lock t.completed_mutex;
+       let empty = Queue.is_empty t.completed in
+       Mutex.unlock t.completed_mutex;
+       empty
+     end
+
+let publish_queue t =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.Gauge.set g_pending
+      (float_of_int (Admission.pending t.admission));
+    Obs.Metrics.Gauge.set g_inflight
+      (float_of_int (Admission.inflight t.admission))
+  end
+
+let metrics_inc c = if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc c
+
+let observe_latency latency =
+  if Obs.Metrics.enabled () then Obs.Metrics.Histogram.observe h_latency latency
+
+(* --- persistence ---------------------------------------------------------- *)
+
+let write_metrics_file path =
+  let text =
+    if Filename.check_suffix path ".json" then
+      Obs.Metrics.to_json Obs.Metrics.default
+    else Obs.Metrics.to_prometheus Obs.Metrics.default
+  in
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+  with
+  | () -> ()
+  | exception Sys_error m -> Printf.eprintf "cellsched serve: %s\n%!" m
+
+let flush t =
+  (match t.config.cache_path with
+  | Some path -> (
+      match Cache.save_file ~force:true t.cache path with
+      | Ok () ->
+          t.dirty <- false;
+          t.last_flush <- Unix.gettimeofday ();
+          metrics_inc m_flushes
+      | Error m -> Printf.eprintf "cellsched serve: cache flush: %s\n%!" m)
+  | None -> ());
+  match t.config.metrics_file with
+  | Some path -> write_metrics_file path
+  | None -> ()
+
+let maybe_flush t =
+  if
+    t.dirty && t.config.cache_path <> None
+    && t.config.flush_period > 0.
+    && Unix.gettimeofday () -. t.last_flush >= t.config.flush_period
+  then flush t
+
+(* --- request lifecycle ---------------------------------------------------- *)
+
+let next_id t =
+  t.auto_id <- t.auto_id + 1;
+  Printf.sprintf "q%d" t.auto_id
+
+let send_reply t (job : job) ~partial response =
+  let latency = Unix.gettimeofday () -. job.received in
+  job.out (Protocol.render_reply ~id:job.id ~partial response);
+  t.replies <- t.replies + 1;
+  observe_latency latency;
+  let status : status =
+    if partial then `Partial
+    else match response.Batch.source with Batch.Hit -> `Hit | _ -> `Solved
+  in
+  t.on_reply { id = job.id; status; response = Some response; latency }
+
+let send_error t ~id ~out reason =
+  t.errors <- t.errors + 1;
+  t.replies <- t.replies + 1;
+  metrics_inc m_errors;
+  out (Protocol.render_error ~id reason);
+  t.on_reply { id; status = `Error reason; response = None; latency = 0. }
+
+(* Runs on a pool worker (or inline when [concurrency = 1]). Touches
+   nothing but the request, the stop flag and the completion queue. *)
+let run_job t (job : job) =
+  let deadline_hit = ref false and cancelled = ref false in
+  let should_stop () =
+    if Unix.gettimeofday () > job.deadline then begin
+      deadline_hit := true;
+      cancelled := true;
+      true
+    end
+    else if Atomic.get t.stop then begin
+      cancelled := true;
+      true
+    end
+    else false
+  in
+  let outcome =
+    match Batch.solve_request ~should_stop job.request with
+    | assignment, period ->
+        Finished
+          {
+            assignment;
+            period;
+            partial = !cancelled;
+            deadline_hit = !deadline_hit;
+          }
+    | exception exn -> Crashed (Printexc.to_string exn)
+  in
+  Mutex.lock t.completed_mutex;
+  Queue.push { job; outcome } t.completed;
+  Mutex.unlock t.completed_mutex
+
+let finish_job t { job; outcome } =
+  (match (job.promise, t.pool) with
+  | Some p, Some pool -> Par.Pool.await pool p
+  | _ -> ());
+  job.promise <- None;
+  Admission.finish t.admission;
+  match outcome with
+  | Crashed reason -> send_error t ~id:job.id ~out:job.out reason
+  | Finished { assignment; period; partial; deadline_hit } ->
+      (* Partial results are timing-dependent: render them, never cache
+         them (store:false), so the deterministic cache stays a pure
+         function of the completed-solve history. *)
+      let response =
+        Batch.solved_response ~store:(not partial) ~cache:t.cache job.request
+          (assignment, period)
+      in
+      if partial then begin
+        t.partials <- t.partials + 1;
+        metrics_inc m_partial;
+        if deadline_hit then metrics_inc m_deadline
+      end
+      else begin
+        t.solved <- t.solved + 1;
+        t.dirty <- true;
+        metrics_inc m_solved
+      end;
+      send_reply t job ~partial response
+
+let drain_completed t =
+  let pending = Queue.create () in
+  Mutex.lock t.completed_mutex;
+  Queue.transfer t.completed pending;
+  Mutex.unlock t.completed_mutex;
+  Queue.iter (finish_job t) pending
+
+let dispatch t =
+  let rec go () =
+    if Admission.inflight t.admission < t.config.concurrency then
+      match Admission.next t.admission with
+      | None -> ()
+      | Some job -> (
+          (* Re-check the cache at dispatch: a duplicate that queued
+             behind its twin becomes a hit the moment the twin's solve
+             lands, instead of burning a second solve. *)
+          match Batch.try_cache ~cache:t.cache job.request with
+          | Some response ->
+              Admission.finish t.admission;
+              t.hits <- t.hits + 1;
+              metrics_inc m_hits;
+              send_reply t job ~partial:false response;
+              go ()
+          | None ->
+              (match t.pool with
+              | Some pool ->
+                  job.promise <-
+                    Some (Par.Pool.submit pool (fun () -> run_job t job))
+              | None -> run_job t job);
+              go ())
+  in
+  go ()
+
+let poll t =
+  drain_completed t;
+  dispatch t;
+  drain_completed t;
+  maybe_flush t;
+  publish_queue t
+
+let handle_line t ~out line =
+  t.line_no <- t.line_no + 1;
+  match
+    Protocol.parse ~load_graph:t.load_graph
+      ~default_spes:t.config.default_spes
+      ~default_strategy:t.config.default_strategy t.line_no line
+  with
+  | Protocol.Nothing -> ()
+  | Protocol.Command Protocol.Ping -> out Protocol.pong
+  | Protocol.Command Protocol.Quit ->
+      out Protocol.bye;
+      request_shutdown t
+  | Protocol.Command Protocol.Metrics ->
+      out
+        (Protocol.render_metrics
+           (Obs.Metrics.to_prometheus Obs.Metrics.default))
+  | Protocol.Malformed { id; reason } ->
+      t.received <- t.received + 1;
+      metrics_inc m_requests;
+      let id = match id with Some id -> id | None -> next_id t in
+      send_error t ~id ~out reason
+  | Protocol.Command (Protocol.Submit { id; request }) -> (
+      t.received <- t.received + 1;
+      metrics_inc m_requests;
+      let id = match id with Some id -> id | None -> next_id t in
+      let received = Unix.gettimeofday () in
+      (* The warm-cache hit path never queues: it is answered inline,
+         bypassing admission control entirely, so an overloaded daemon
+         keeps serving everything it already knows. *)
+      match Batch.try_cache ~cache:t.cache request with
+      | Some response ->
+          t.accepted <- t.accepted + 1;
+          t.hits <- t.hits + 1;
+          metrics_inc m_accepted;
+          metrics_inc m_hits;
+          send_reply t
+            { id; request; out; received; deadline = infinity; promise = None }
+            ~partial:false response
+      | None ->
+          let deadline =
+            match request.Request.deadline_ms with
+            | Some ms -> received +. (ms /. 1000.)
+            | None -> infinity
+          in
+          let job = { id; request; out; received; deadline; promise = None } in
+          if Admission.admit t.admission ~prio:request.Request.prio job then begin
+            t.accepted <- t.accepted + 1;
+            metrics_inc m_accepted;
+            publish_queue t
+          end
+          else begin
+            t.rejected <- t.rejected + 1;
+            t.replies <- t.replies + 1;
+            metrics_inc m_rejected;
+            out (Protocol.render_reject ~id);
+            t.on_reply
+              { id; status = `Rejected; response = None; latency = 0. }
+          end)
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let drain t =
+  while not (idle t) do
+    poll t;
+    if not (idle t) then Unix.sleepf 0.002
+  done
+
+let finish t =
+  drain t;
+  flush t;
+  publish_queue t;
+  match t.pool with Some pool -> Par.Pool.shutdown pool | None -> ()
+
+let shutdown t =
+  (* The stop flag cancels every in-flight solve; [drain] then
+     dispatches the still-pending queue, whose solves cancel on their
+     first check — every admitted request gets a (partial) reply before
+     the flush, so a SIGTERM drops nothing. *)
+  request_shutdown t;
+  finish t
+
+(* --- serve loops ---------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Split complete lines out of [buf], leaving a trailing partial line
+   (no '\n' yet) buffered for the next read. *)
+let drain_lines buf f =
+  if Buffer.length buf > 0 then begin
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some _ ->
+        Buffer.clear buf;
+        let n = String.length s in
+        let rec go start =
+          if start < n then
+            match String.index_from_opt s start '\n' with
+            | Some i ->
+                f (String.sub s start (i - start));
+                go (i + 1)
+            | None -> Buffer.add_substring buf s start (n - start)
+        in
+        go 0
+  end
+
+let install_signals t =
+  let handler = Sys.Signal_handle (fun _ -> request_shutdown t) in
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal handler
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let serve_fd ?on_reply ?load_graph config ~input ~output =
+  Obs.Metrics.set_enabled true;
+  let t = create ?on_reply ?load_graph config in
+  install_signals t;
+  let out = write_all output in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let eof = ref false in
+  while (not (shutdown_requested t)) && not (!eof && idle t) do
+    (if !eof then Unix.sleepf 0.002
+     else
+       let readable =
+         match Unix.select [ input ] [] [] 0.05 with
+         | r, _, _ -> r <> []
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+       in
+       if readable then
+         match Unix.read input chunk 0 (Bytes.length chunk) with
+         | 0 -> eof := true
+         | n ->
+             Buffer.add_subbytes buf chunk 0 n;
+             drain_lines buf (handle_line t ~out)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    poll t
+  done;
+  (* A final line without a trailing newline still deserves a reply. *)
+  if Buffer.length buf > 0 && not (shutdown_requested t) then
+    handle_line t ~out (Buffer.contents buf);
+  if shutdown_requested t then shutdown t else finish t;
+  t
+
+let serve_socket ?on_reply ?load_graph config ~path =
+  Obs.Metrics.set_enabled true;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (match Unix.lstat path with
+  | st ->
+      if st.Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+      else failwith (path ^ " exists and is not a socket")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let t = create ?on_reply ?load_graph config in
+  install_signals t;
+  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let close_client fd =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove clients fd
+  in
+  (* A job's reply may outlive its client: swallow write failures so a
+     disconnect never kills the daemon (SIGPIPE is already ignored). *)
+  let client_out fd s =
+    try write_all fd s with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  let chunk = Bytes.create 65536 in
+  while not (shutdown_requested t) do
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [ srv ] in
+    (match Unix.select fds [] [] 0.05 with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd == srv then (
+              match Unix.accept srv with
+              | cfd, _ -> Hashtbl.replace clients cfd (Buffer.create 1024)
+              | exception Unix.Unix_error _ -> ())
+            else
+              match Hashtbl.find_opt clients fd with
+              | None -> ()
+              | Some buf -> (
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | 0 ->
+                      if Buffer.length buf > 0 then
+                        handle_line t ~out:(client_out fd)
+                          (Buffer.contents buf);
+                      close_client fd
+                  | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      drain_lines buf (handle_line t ~out:(client_out fd))
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error _ -> close_client fd))
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    poll t
+  done;
+  shutdown t;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  t

@@ -1,0 +1,160 @@
+(** Long-lived scheduling server: {!Service.Batch} promoted to a
+    persistent event loop.
+
+    One engine drives both transports ([stdin] pipe mode and a
+    Unix-domain socket): lines come in through {!handle_line}, work
+    advances through {!poll}. The split keeps every policy decision
+    unit-testable without a file descriptor in sight:
+
+    - {b Hits are free}: a request answered by the warm {!Service.Cache}
+      replies inline from {!handle_line} and never queues — an
+      overloaded daemon keeps serving everything it already knows.
+    - {b Admission control}: misses enter a bounded priority queue
+      ({!Admission}); when queued plus in-flight work reaches
+      [config.bound] the daemon replies [REJECT <id> overload]
+      immediately instead of queueing without bound.
+    - {b Deadlines}: a request's [deadline=MS] starts a wall-clock
+      budget at receipt; when it expires mid-solve the solver is
+      cancelled through the [should_stop] hook and the best incumbent
+      so far — always a feasible mapping — is returned tagged
+      [partial]. Partial results are {e never} written to the cache
+      (they are timing-dependent; the cache stays deterministic).
+    - {b Concurrency}: [config.concurrency = 1] solves inline in
+      {!poll} (deterministic, no domains spawned — fork-safe for
+      tests); [> 1] multiplexes solves over a {!Par.Pool.t}, with
+      completions crossing back to the main loop through a
+      mutex-protected queue, so the cache and the client writers are
+      only ever touched from the loop.
+    - {b Persistence}: the cache loads warm from [cache_path] at
+      start-up, flushes periodically (every [flush_period] seconds,
+      when dirty) and always on shutdown — atomically
+      ({!Service.Cache.save_file}), so a kill mid-flush never loses
+      the previous complete snapshot.
+    - {b Shutdown}: SIGINT/SIGTERM (installed by the serve loops) and
+      the [QUIT] verb set one atomic flag; in-flight solves cancel,
+      still-pending requests are dispatched and cancel on their first
+      check, so {e every admitted request is replied to} (tagged
+      partial) before the final flush — a SIGTERM drops nothing.
+
+    Metric families ([daemon_*]: accepted/rejected/hits/solved/partial/
+    deadline-expired/errors/flushes counters, pending and in-flight
+    gauges, a reply-latency histogram) are registered at module
+    initialisation; the serve loops enable the registry on entry. *)
+
+type config = {
+  default_spes : int;  (** For request lines without [spes=]. *)
+  default_strategy : Service.Request.strategy;
+  bound : int;  (** Admission bound: max queued + in-flight misses. *)
+  concurrency : int;  (** [1] = inline solves; [n > 1] = pool of [n]. *)
+  cache_path : string option;
+      (** Warm-start load at create, flush target afterwards. *)
+  cache_entries : int option;  (** LRU entry bound (default 1024). *)
+  cache_bytes : int option;  (** LRU byte bound (default 16 MiB). *)
+  flush_period : float;
+      (** Seconds between background flushes; [0.] disables the
+          periodic flush (shutdown still flushes). *)
+  metrics_file : string option;
+      (** Rewritten at every flush and at shutdown; Prometheus text, or
+          JSON when the path ends in [.json]. *)
+}
+
+val default_config : config
+(** 8 SPEs, portfolio strategy, bound 64, concurrency 1, no
+    persistence, 30 s flush period. *)
+
+type status = [ `Hit | `Solved | `Partial | `Rejected | `Error of string ]
+
+type reply = {
+  id : string;
+  status : status;
+  response : Service.Batch.response option;
+      (** [None] for [`Rejected] and [`Error]. *)
+  latency : float;  (** Seconds from line receipt to reply. *)
+}
+
+type stats = {
+  received : int;  (** Request lines (malformed included; verbs not). *)
+  accepted : int;  (** Hits plus admitted misses. *)
+  rejected : int;
+  errors : int;
+  hits : int;
+  solved : int;
+  partials : int;
+  replies : int;  (** Every reply sent, [REJECT]/[ERROR] included. *)
+}
+
+type t
+
+val create :
+  ?on_reply:(reply -> unit) ->
+  ?load_graph:(string -> Streaming.Graph.t) ->
+  config ->
+  t
+(** [on_reply] observes every request reply (tests, bench latency
+    collection). [load_graph] (default: a memoizing
+    {!Streaming.Serialize.of_file}) lets tests resolve graph names
+    without touching the filesystem.
+    @raise Invalid_argument on non-positive [bound] or [concurrency]. *)
+
+val cache : t -> Service.Cache.t
+val stats : t -> stats
+
+val handle_line : t -> out:(string -> unit) -> string -> unit
+(** Parse and act on one protocol line. Verbs, malformed lines, cache
+    hits and admission rejections reply immediately through [out];
+    admitted misses wait for {!poll}. *)
+
+val poll : t -> unit
+(** Advance the engine: reap completed solves (replying through each
+    job's own [out]), dispatch pending work up to [concurrency], and
+    run the periodic flush. Non-blocking with a pool; with
+    [concurrency = 1] it runs every pending solve inline. *)
+
+val idle : t -> bool
+(** No pending, in-flight or unreaped work. *)
+
+val drain : t -> unit
+(** {!poll} until {!idle} — lets outstanding work complete normally. *)
+
+val flush : t -> unit
+(** Persist now: cache to [cache_path] (atomic, forced) and the
+    metrics file, when configured. *)
+
+val request_shutdown : t -> unit
+(** Signal-safe: sets the atomic stop flag, which also cancels
+    in-flight solves at their next check. The serve loops notice it on
+    their next iteration; engine users should call {!shutdown}. *)
+
+val shutdown_requested : t -> bool
+
+val finish : t -> unit
+(** Graceful end-of-input (the pipe EOF path): drain letting solves
+    complete, flush, stop the pool. *)
+
+val shutdown : t -> unit
+(** Fast stop (the SIGTERM/QUIT path): cancel in-flight solves, reply
+    [partial] to everything admitted, flush, stop the pool. *)
+
+val serve_fd :
+  ?on_reply:(reply -> unit) ->
+  ?load_graph:(string -> Streaming.Graph.t) ->
+  config ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  t
+(** Pipe mode: read lines from [input], write replies to [output],
+    until EOF (then {!finish}) or SIGINT/SIGTERM/[QUIT] (then
+    {!shutdown}). Enables metrics and installs signal handlers.
+    Returns the engine for post-mortem {!stats}. *)
+
+val serve_socket :
+  ?on_reply:(reply -> unit) ->
+  ?load_graph:(string -> Streaming.Graph.t) ->
+  config ->
+  path:string ->
+  t
+(** Unix-domain-socket mode: listen on [path] (an existing socket file
+    is replaced; anything else there fails), multiplex any number of
+    clients with [select], ignore SIGPIPE, swallow writes to
+    disconnected clients. [QUIT] or a signal stops the whole server
+    ({!shutdown}); the socket file is unlinked on exit. *)

@@ -64,7 +64,8 @@ let find_branch_var ~int_tol int_vars (x : float array) =
   List.iter consider int_vars;
   if !best < 0 then None else Some !best
 
-let solve ?(options = default_options) ?warm_start problem =
+let solve ?(options = default_options) ?(should_stop = fun () -> false)
+    ?warm_start problem =
   let sense, _ = Problem.objective problem in
   (* Internally we minimize; flip reported values for Maximize. *)
   let to_internal obj =
@@ -151,7 +152,10 @@ let solve ?(options = default_options) ?warm_start problem =
            if relative_gap ~incumbent:!incumbent_obj ~bound:global_lb
               <= options.rel_gap
            then raise (Done (finish Optimal global_lb));
-           if !nodes >= options.max_nodes || Unix.gettimeofday () > deadline
+           if
+             !nodes >= options.max_nodes
+             || Unix.gettimeofday () > deadline
+             || should_stop ()
            then begin
              let bound = Float.min node.nbound (best_open_bound ()) in
              let status = if !incumbent = None then Unknown else Feasible in

@@ -35,7 +35,18 @@ type outcome = {
   gap : float;  (** Achieved relative gap; [infinity] without incumbent. *)
 }
 
-val solve : ?options:options -> ?warm_start:float array -> Problem.t -> outcome
+val solve :
+  ?options:options ->
+  ?should_stop:(unit -> bool) ->
+  ?warm_start:float array ->
+  Problem.t ->
+  outcome
 (** [warm_start] is a full assignment whose integer components seed the
     incumbent: integer variables are fixed to their rounded values and the
-    continuous rest re-optimized; it is ignored if that LP is infeasible. *)
+    continuous rest re-optimized; it is ignored if that LP is infeasible.
+
+    [should_stop] is polled once per node (default: never stop): when it
+    returns [true] the search finishes exactly as if the node budget had
+    run out — the incumbent found so far (status [Feasible]) and the best
+    open bound are returned instead of nothing. Used for deadline-driven
+    cancellation by the scheduling daemon. *)

@@ -35,14 +35,19 @@ let h_batch =
   Obs.Metrics.histogram ~help:"Wall-clock latency of one batch run"
     "svc_batch_seconds"
 
-let solve_request (r : Request.t) =
+let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
   match r.Request.strategy with
   | Request.Portfolio { seed; restarts } ->
-      let res = Cellsched.Portfolio.solve ~seed ~restarts r.platform r.graph in
+      let res =
+        Cellsched.Portfolio.solve ~should_stop ~seed ~restarts r.platform
+          r.graph
+      in
       (M.to_array res.Cellsched.Portfolio.best, res.Cellsched.Portfolio.period)
   | Request.Bb { rel_gap; max_nodes } ->
       (* A node budget, never a wall-clock limit: early stopping must be
-         deterministic for the batch determinism contract to hold. *)
+         deterministic for the batch determinism contract to hold. The
+         daemon's deadline cancellation enters through [should_stop],
+         and such results are tagged partial rather than cached. *)
       let options =
         {
           Cellsched.Mapping_search.default_options with
@@ -51,7 +56,9 @@ let solve_request (r : Request.t) =
           time_limit = 3600.;
         }
       in
-      let res = Cellsched.Mapping_search.solve ~options r.platform r.graph in
+      let res =
+        Cellsched.Mapping_search.solve ~options ~should_stop r.platform r.graph
+      in
       ( M.to_array res.Cellsched.Mapping_search.mapping,
         res.Cellsched.Mapping_search.period )
 
@@ -95,6 +102,66 @@ let validate (r : Request.t) (entry : Cache.entry) assignment =
   Int64.bits_of_float p = Int64.bits_of_float entry.Cache.period
   || Float.abs (p -. entry.Cache.period) <= 1e-9 *. Float.abs entry.Cache.period
 
+(* One cache probe on precomputed key material; shared between the
+   batch classifier and the daemon's hit path so both answer a given
+   request bitwise alike. *)
+let try_cache_keyed ~cache (r : Request.t) ~fp ~ord =
+  match Cache.find cache fp with
+  | None -> None
+  | Some entry -> (
+      match transport entry ord with
+      | Some assignment when validate r entry assignment ->
+          Some
+            {
+              request = r;
+              fingerprint = fp;
+              source = Hit;
+              assignment;
+              period = entry.Cache.period;
+              feasible = entry.Cache.feasible;
+              throughput = entry.Cache.throughput;
+              bottleneck = entry.Cache.bottleneck;
+            }
+      | _ ->
+          if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_rejects;
+          None)
+
+let try_cache ~cache r =
+  try_cache_keyed ~cache r ~fp:(Request.fingerprint r)
+    ~ord:(Streaming.Canonical.order r.Request.graph)
+
+let solved_keyed ~store ~cache (r : Request.t) ~fp ~ord (assignment, period) =
+  let feasible, throughput, bottleneck = summary r assignment period in
+  if store then begin
+    let canonical = Array.map (fun id -> assignment.(id)) ord in
+    Cache.add cache
+      {
+        Cache.fingerprint = fp;
+        strategy = Request.strategy_to_string r.Request.strategy;
+        canonical_assignment = canonical;
+        period;
+        feasible;
+        throughput;
+        bottleneck;
+      }
+  end;
+  {
+    request = r;
+    fingerprint = fp;
+    source = Solved;
+    assignment;
+    period;
+    feasible;
+    throughput;
+    bottleneck;
+  }
+
+let solved_response ?(store = true) ~cache r result =
+  solved_keyed ~store ~cache r
+    ~fp:(Request.fingerprint r)
+    ~ord:(Streaming.Canonical.order r.Request.graph)
+    result
+
 let run ?pool ~cache requests =
   let t0 = Unix.gettimeofday () in
   let requests = Array.of_list requests in
@@ -105,27 +172,11 @@ let run ?pool ~cache requests =
   in
   let responses : response option array = Array.make n None in
   let try_hit i =
-    match Cache.find cache fps.(i) with
+    match try_cache_keyed ~cache requests.(i) ~fp:fps.(i) ~ord:ords.(i) with
+    | Some r ->
+        responses.(i) <- Some r;
+        true
     | None -> false
-    | Some entry -> (
-        match transport entry ords.(i) with
-        | Some assignment when validate requests.(i) entry assignment ->
-            responses.(i) <-
-              Some
-                {
-                  request = requests.(i);
-                  fingerprint = fps.(i);
-                  source = Hit;
-                  assignment;
-                  period = entry.Cache.period;
-                  feasible = entry.Cache.feasible;
-                  throughput = entry.Cache.throughput;
-                  bottleneck = entry.Cache.bottleneck;
-                };
-            true
-        | _ ->
-            if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_rejects;
-            false)
   in
   (* Classify in request order: hit, in-batch duplicate, or miss. *)
   let planned = Hashtbl.create 16 in
@@ -139,31 +190,10 @@ let run ?pool ~cache requests =
       end
   done;
   let record_solved (i, assignment, period) =
-    let r = requests.(i) in
-    let feasible, throughput, bottleneck = summary r assignment period in
-    let canonical = Array.map (fun id -> assignment.(id)) ords.(i) in
-    Cache.add cache
-      {
-        Cache.fingerprint = fps.(i);
-        strategy = Request.strategy_to_string r.Request.strategy;
-        canonical_assignment = canonical;
-        period;
-        feasible;
-        throughput;
-        bottleneck;
-      };
     responses.(i) <-
       Some
-        {
-          request = r;
-          fingerprint = fps.(i);
-          source = Solved;
-          assignment;
-          period;
-          feasible;
-          throughput;
-          bottleneck;
-        }
+        (solved_keyed ~store:true ~cache requests.(i) ~fp:fps.(i) ~ord:ords.(i)
+           (assignment, period))
   in
   let solve_one i =
     let assignment, period = solve_request requests.(i) in

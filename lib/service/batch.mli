@@ -45,9 +45,29 @@ type response = {
   bottleneck : string;
 }
 
-val solve_request : Request.t -> int array * float
+val solve_request :
+  ?should_stop:(unit -> bool) -> Request.t -> int array * float
 (** One uncached solver run: the assignment (request task order) and
-    canonical period. Exposed for differential testing. *)
+    canonical period. Exposed for differential testing and as the
+    daemon's cancellable solve entry point: [should_stop] (default:
+    never) is threaded into the underlying solver, which then returns
+    its best incumbent so far — always a feasible mapping — instead of
+    running to completion. *)
+
+val try_cache : cache:Cache.t -> Request.t -> response option
+(** The pure hit path: fingerprint, transport, validate. [Some] is a
+    [Hit] response bitwise identical to what {!run} would return for a
+    singleton batch hitting the same entry; [None] is a miss (a failed
+    transport validation bumps [svc_transport_rejects_total], exactly as
+    in {!run}). Never solves. *)
+
+val solved_response :
+  ?store:bool -> cache:Cache.t -> Request.t -> int array * float -> response
+(** Wrap a {!solve_request} result into a [Solved] response, computing
+    the summary (feasibility, throughput, bottleneck). [store] (default
+    [true]) also records the entry in the cache; the daemon passes
+    [store:false] for deadline-cancelled partial results so a timing-
+    dependent incumbent can never poison the deterministic cache. *)
 
 val run : ?pool:Par.Pool.t -> cache:Cache.t -> Request.t list -> response list
 (** Responses in request order. The cache is updated in place with

@@ -228,15 +228,37 @@ let load_file ?max_entries ?max_bytes path =
         if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_recovered;
         create ?max_entries ?max_bytes ()
 
+module For_testing = struct
+  let crash_after_bytes : int option ref = ref None
+end
+
+let temp_path path = path ^ ".tmp"
+
+(* Crash-window-free persistence: the document is written to a sibling
+   temp file and atomically renamed over [path], so a process killed at
+   any point leaves either the previous complete file or the new
+   complete file — never a truncated one (recovery-to-empty used to
+   silently drop every entry of a cache whose flush was interrupted).
+   A stale [.tmp] from an earlier crash is simply overwritten. *)
 let save_file ?(force = false) t path =
   if (not force) && Sys.file_exists path then
     Error (Printf.sprintf "%s exists, not overwriting (use force)" path)
   else
+    let tmp = temp_path path in
     match
-      let oc = open_out_bin path in
+      let contents = to_json_string t in
+      let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (to_json_string t))
+        (fun () ->
+          match !For_testing.crash_after_bytes with
+          | Some n when n < String.length contents ->
+              (* Simulated kill mid-write: part of the temp file is on
+                 disk, the rename never happens. *)
+              output_substring oc contents 0 n;
+              raise (Sys_error "simulated crash during cache flush")
+          | _ -> output_string oc contents);
+      Sys.rename tmp path
     with
     | () -> Ok ()
     | exception Sys_error m -> Error m

@@ -63,4 +63,21 @@ val load_file : ?max_entries:int -> ?max_bytes:int -> string -> t
     content recovers to empty as in {!load_string}. *)
 
 val save_file : ?force:bool -> t -> string -> (unit, string) result
-(** No-clobber unless [force = true]; [Error] carries the reason. *)
+(** No-clobber unless [force = true]; [Error] carries the reason.
+    Atomic against crashes: the document is written to [path ^ ".tmp"]
+    and renamed into place, so a process killed mid-flush leaves the
+    previous complete file intact (a subsequent {!load_file} sees every
+    entry of the last successful save, never a truncated document). *)
+
+val temp_path : string -> string
+(** The sibling temp file [save_file] stages through ([path ^ ".tmp"]);
+    exposed so operators can clean up after a crashed daemon. *)
+
+(**/**)
+
+module For_testing : sig
+  val crash_after_bytes : int option ref
+  (** [Some n] makes the next [save_file] write only the first [n] bytes
+      of the temp file and then fail as if the process had been killed
+      mid-flush (no rename). Tests only; reset to [None] afterwards. *)
+end

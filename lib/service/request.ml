@@ -9,6 +9,8 @@ type t = {
   platform : Cell.Platform.t;
   graph : Streaming.Graph.t;
   strategy : strategy;
+  deadline_ms : float option;
+  prio : int;
 }
 
 let default_strategy =
@@ -81,6 +83,7 @@ let parse_line ~load_graph ?(default_spes = 8)
       and restarts = ref None
       and gap = ref None
       and max_nodes = ref None in
+      let deadline = ref None and prio = ref 0 in
       let int_of key v =
         match int_of_string_opt v with
         | Some i -> i
@@ -107,6 +110,12 @@ let parse_line ~load_graph ?(default_spes = 8)
             | "restarts" -> restarts := Some (int_of key v)
             | "gap" -> gap := Some (float_of key v)
             | "max-nodes" -> max_nodes := Some (int_of key v)
+            | "deadline" ->
+                let ms = float_of key v in
+                if not (Float.is_finite ms && ms > 0.) then
+                  fail "deadline=%s must be a positive number of ms" v;
+                deadline := Some ms
+            | "prio" -> prio := int_of key v
             | _ -> fail "unknown request attribute %S" key)
       in
       List.iter set attrs;
@@ -166,4 +175,6 @@ let parse_line ~load_graph ?(default_spes = 8)
           platform = Cell.Platform.qs22 ~n_spe:!spes ();
           graph;
           strategy;
+          deadline_ms = !deadline;
+          prio = !prio;
         }

@@ -23,6 +23,16 @@ type t = {
   platform : Cell.Platform.t;
   graph : Streaming.Graph.t;
   strategy : strategy;
+  deadline_ms : float option;
+      (** Wall-clock reply budget in milliseconds, counted by the daemon
+          from admission: when it expires the solve is cancelled and the
+          best incumbent so far is returned, tagged partial. [None] (the
+          default, and the batch front end's behaviour) never cancels.
+          Not part of the fingerprint — the problem is the same whatever
+          the caller's patience. *)
+  prio : int;
+      (** Dispatch priority in the daemon's pending queue: higher first,
+          FIFO within a level. Default [0]. Not part of the fingerprint. *)
 }
 
 val default_strategy : strategy
@@ -46,8 +56,9 @@ val parse_line :
   t option
 (** Parse one line of a batch request file:
     {v <graph-file> [spes=N] [strategy=portfolio|bb] [seed=N]
-       [restarts=N] [gap=F] [max-nodes=N] v}
+       [restarts=N] [gap=F] [max-nodes=N] [deadline=MS] [prio=N] v}
     Blank lines and [#] comments yield [None]. The graph file is loaded
     through [load_graph] (callers may memoize). The platform is a QS22
     with [spes] SPEs (default [default_spes], itself defaulting to 8).
+    [deadline] must be a positive number of milliseconds.
     @raise Failure with the line number on malformed input. *)

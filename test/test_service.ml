@@ -97,6 +97,8 @@ let test_fingerprint_sensitivity () =
       platform = P.qs22 ();
       graph = g;
       strategy = Req.Portfolio { seed = 1; restarts = 3 };
+      deadline_ms = None;
+      prio = 0;
     }
   in
   let fp = Req.fingerprint base in
@@ -124,7 +126,7 @@ let test_fingerprint_sensitivity () =
 let portfolio_strategy = Req.Portfolio { seed = 1234; restarts = 2 }
 
 let request ?(label = "g") ?(strategy = portfolio_strategy) platform graph =
-  { Req.label; platform; graph; strategy }
+  { Req.label; platform; graph; strategy; deadline_ms = None; prio = 0 }
 
 let hit_equals_fresh_portfolio =
   QCheck.Test.make ~count:40
@@ -406,6 +408,45 @@ let test_no_clobber () =
       | Ok () -> ()
       | Error m -> Alcotest.failf "forced save failed: %s" m)
 
+let test_crash_window () =
+  (* A flush killed mid-write must leave the previous complete snapshot
+     intact: the bytes go to a sibling temp file, the rename never
+     happens, and a reload sees every entry of the last good save. *)
+  let cache = Cache.create () in
+  Cache.add cache (sample_entry ());
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.For_testing.crash_after_bytes := None;
+      Sys.remove path;
+      try Sys.remove (Cache.temp_path path) with Sys_error _ -> ())
+    (fun () ->
+      (match Cache.save_file ~force:true cache path with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "first save failed: %s" m);
+      let good = In_channel.with_open_bin path In_channel.input_all in
+      Cache.add cache (sample_entry ~fp:(String.make 32 'b') ());
+      Cache.For_testing.crash_after_bytes := Some 25;
+      (match Cache.save_file ~force:true cache path with
+      | Ok () -> Alcotest.fail "crashed flush reported success"
+      | Error _ -> ());
+      Cache.For_testing.crash_after_bytes := None;
+      Alcotest.(check bool) "partial bytes went to the temp file" true
+        (Sys.file_exists (Cache.temp_path path));
+      Alcotest.(check string) "target file untouched by the crash" good
+        (In_channel.with_open_bin path In_channel.input_all);
+      let back = Cache.load_file path in
+      Alcotest.(check int) "previous snapshot loads complete" 1
+        (Cache.length back);
+      (* The retry overwrites the stale temp file and lands atomically. *)
+      (match Cache.save_file ~force:true cache path with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "retry failed: %s" m);
+      Alcotest.(check bool) "temp file consumed by the rename" false
+        (Sys.file_exists (Cache.temp_path path));
+      Alcotest.(check int) "both entries land" 2
+        (Cache.length (Cache.load_file path)))
+
 let test_lru_eviction () =
   with_metrics (fun () ->
       let evictions0 = counter_value "svc_evictions_total" in
@@ -519,6 +560,8 @@ let () =
             test_persistence_roundtrip;
           Alcotest.test_case "fault recovery" `Quick test_persistence_faults;
           Alcotest.test_case "no-clobber / --force" `Quick test_no_clobber;
+          Alcotest.test_case "crash mid-flush keeps the last snapshot" `Quick
+            test_crash_window;
         ] );
       ( "cache",
         [

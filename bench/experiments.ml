@@ -893,11 +893,125 @@ let search_par () =
   print_endline "wrote BENCH_par.json";
   if not !all_identical then
     print_endline "WARNING: a pooled run diverged from the sequential result";
-  if !best_speedup < 2. then
+  if host = 1 then
+    print_endline
+      "note: host_cores = 1 — pooled runs cannot beat sequential here;\n\
+      \      CI skips the speedup assertions on this host (correctness\n\
+      \      checks above still apply)"
+  else if !best_speedup < 2. then
     Printf.printf
       "note: best speedup %.2fx below 2x (host has %d core(s); >=2x needs >=4)\n"
       !best_speedup host;
   Obs.Metrics.set_enabled metrics_were_on;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* P2 - B&B closure: the rebuilt optimality path (combinatorial        *)
+(* bounds, hardest-first order, portfolio seed, sequential dive +      *)
+(* threshold tightening) against the frozen PR-2 baselines, which      *)
+(* burned ~2M nodes in 10 s without closing the 50-task presets.       *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_eval.json numbers of the pre-rebuild engine (PR-2), kept as
+   literals so the comparison survives the code they measured. *)
+let bb_baselines =
+  [
+    ("random graph 1", (1_826_816, 0.0652, false));
+    ("random graph 3", (2_449_408, 0.0502, false));
+  ]
+
+let search_bb () =
+  print_endline "== Branch-and-bound closure: rebuilt bounds vs PR-2 baseline ==";
+  print_endline
+    "   (10 s budget per instance; closed = proven within the 5% default gap)";
+  let platform = P.qs22 () in
+  let module Search = Cellsched.Mapping_search in
+  let bb_options = { Search.default_options with time_limit = 10. } in
+  let g150 =
+    let rng = Support.Rng.create 45 in
+    let g =
+      Daggen.Generator.generate ~rng
+        ~shape:
+          {
+            Daggen.Generator.n = 150;
+            fat = 0.4;
+            density = 0.25;
+            regularity = 0.6;
+            jump = 2;
+          }
+        ~costs:Daggen.Generator.default_costs
+    in
+    Streaming.Ccr.scale_to g ~target:0.775
+  in
+  let instances = graphs () @ [ ("random graph 150", g150) ] in
+  let table =
+    Support.Table.create
+      [ "graph"; "tasks"; "period"; "bound"; "gap"; "nodes"; "closed";
+        "time"; "PR-2 nodes"; "PR-2 period" ]
+  in
+  let json_rows = ref [] in
+  let closed = ref 0 in
+  let g13_closed = ref true in
+  List.iter
+    (fun (name, g) ->
+      let r, t = time_of (fun () -> Search.solve ~options:bb_options platform g) in
+      if r.Search.optimal_within_gap then incr closed
+      else if List.mem_assoc name bb_baselines then g13_closed := false;
+      let baseline = List.assoc_opt name bb_baselines in
+      Support.Table.add_row table
+        [
+          name;
+          string_of_int (G.n_tasks g);
+          Printf.sprintf "%.4g s" r.Search.period;
+          Printf.sprintf "%.4g s" r.Search.lower_bound;
+          Printf.sprintf "%.2f%%" (100. *. r.Search.gap);
+          string_of_int r.Search.nodes;
+          (if r.Search.optimal_within_gap then "yes" else "NO");
+          Printf.sprintf "%.3f s" t;
+          (match baseline with
+          | Some (n, _, _) -> string_of_int n
+          | None -> "-");
+          (match baseline with
+          | Some (_, p, c) ->
+              Printf.sprintf "%.4g s%s" p (if c then "" else " (open)")
+          | None -> "-");
+        ];
+      json_rows :=
+        Printf.sprintf
+          "    { \"graph\": %S, \"tasks\": %d, \"period_s\": %.9g,\n\
+          \      \"lower_bound_s\": %.9g, \"gap\": %.6f, \"nodes\": %d,\n\
+          \      \"closed\": %b, \"time_s\": %.6f%s }"
+          name (G.n_tasks g) r.Search.period r.Search.lower_bound r.Search.gap
+          r.Search.nodes r.Search.optimal_within_gap t
+          (match baseline with
+          | Some (n, p, c) ->
+              Printf.sprintf
+                ",\n\
+                \      \"pr2_nodes\": %d, \"pr2_period_s\": %.9g, \
+                 \"pr2_closed\": %b"
+                n p c
+          | None -> "")
+        :: !json_rows)
+    instances;
+  Support.Table.print table;
+  let oc = open_out "BENCH_bb.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"bb\",\n\
+    \  \"platform\": \"QS22 (1 PPE + 8 SPEs)\",\n\
+    \  \"time_budget_s\": %g,\n\
+    \  \"closed\": %d,\n\
+    \  \"total\": %d,\n\
+    \  \"graphs_1_and_3_closed\": %b,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    bb_options.Search.time_limit !closed (List.length instances) !g13_closed
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "wrote BENCH_bb.json";
+  if not !g13_closed then
+    print_endline
+      "WARNING: a 50-task preset the rebuilt engine must close stayed open";
   print_newline ()
 
 (* Mapping-service latency: cache-hit path (fingerprint + transport +

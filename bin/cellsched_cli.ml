@@ -87,16 +87,32 @@ let platform_of n_spe = Cell.Platform.qs22 ~n_spe ()
 
 let load_graph path = Streaming.Serialize.of_file path
 
-let compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform g =
+(* A solver's proof obligations alongside its mapping: the proven lower
+   bound on the period, the implied gap, and whether the gap target was
+   actually certified (vs a limit stopping the search early). *)
+type bound_report = { lower_bound : float; bound_gap : float; proven : bool }
+
+let compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
+    platform g =
   match strategy with
-  | `Ppe_only -> Cellsched.Heuristics.ppe_only platform g
-  | `Greedy_mem -> Cellsched.Heuristics.greedy_mem platform g
-  | `Greedy_cpu -> Cellsched.Heuristics.greedy_cpu platform g
-  | `Density -> Cellsched.Heuristics.density_pack platform g
-  | `Lp_round -> Cellsched.Heuristics.lp_rounding platform g
+  | `Ppe_only -> (Cellsched.Heuristics.ppe_only platform g, None)
+  | `Greedy_mem -> (Cellsched.Heuristics.greedy_mem platform g, None)
+  | `Greedy_cpu -> (Cellsched.Heuristics.greedy_cpu platform g, None)
+  | `Density -> (Cellsched.Heuristics.density_pack platform g, None)
+  | `Lp_round -> (Cellsched.Heuristics.lp_rounding platform g, None)
   | `Portfolio ->
-      (Cellsched.Portfolio.solve ?pool ?should_stop platform g)
-        .Cellsched.Portfolio.best
+      let r = Cellsched.Portfolio.solve ?pool ?should_stop platform g in
+      let p = r.Cellsched.Portfolio.period in
+      ( r.Cellsched.Portfolio.best,
+        Some
+          {
+            lower_bound = r.Cellsched.Portfolio.lower_bound;
+            bound_gap =
+              (if p > 0. && Float.is_finite p then
+                 (p -. r.Cellsched.Portfolio.lower_bound) /. p
+               else 0.);
+            proven = false;
+          } )
   | `Bb ->
       let options =
         {
@@ -105,8 +121,16 @@ let compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform g =
           time_limit;
         }
       in
-      (Cellsched.Mapping_search.solve ~options ?should_stop ?pool platform g)
-        .Cellsched.Mapping_search.mapping
+      let r =
+        Cellsched.Mapping_search.solve ~options ?should_stop ?pool platform g
+      in
+      ( r.Cellsched.Mapping_search.mapping,
+        Some
+          {
+            lower_bound = r.Cellsched.Mapping_search.lower_bound;
+            bound_gap = r.Cellsched.Mapping_search.gap;
+            proven = r.Cellsched.Mapping_search.optimal_within_gap;
+          } )
   | `Milp ->
       let options =
         {
@@ -115,8 +139,26 @@ let compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform g =
           time_limit;
         }
       in
-      (Cellsched.Milp_solver.solve ~options ?should_stop ?pool platform g)
-        .Cellsched.Milp_solver.mapping
+      let r = Cellsched.Milp_solver.solve ~options ?should_stop ?pool platform g in
+      ( r.Cellsched.Milp_solver.mapping,
+        Some
+          {
+            lower_bound = r.Cellsched.Milp_solver.lower_bound;
+            bound_gap = r.Cellsched.Milp_solver.gap;
+            proven = r.Cellsched.Milp_solver.proven_within_gap;
+          } )
+
+let compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform g =
+  fst
+    (compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
+       platform g)
+
+let report_bound = function
+  | None -> ()
+  | Some { lower_bound; bound_gap; proven } ->
+      Format.printf "lower bound: %.6g s (gap %.2f%%, %s)@." lower_bound
+        (100. *. bound_gap)
+        (if proven then "proven within target gap" else "not proven optimal")
 
 let report_mapping platform g mapping =
   Format.printf "%a@." (Cellsched.Mapping.pp platform g) mapping;
@@ -268,16 +310,17 @@ let map_cmd =
               end
               else false)
     in
-    let mapping =
+    let mapping, bound =
       with_optional_pool parallel (fun pool ->
-          compute_mapping strategy ~gap ~time_limit ?should_stop ?pool platform
-            g)
+          compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
+            platform g)
     in
     if Atomic.get fired then
       Format.printf
         "PARTIAL: --timeout %g ms expired; showing the best incumbent found@."
         (Option.get timeout);
     report_mapping platform g mapping;
+    report_bound bound;
     dump_metrics ~force metrics;
     0
   in

@@ -1,0 +1,50 @@
+(** Closed-form combinatorial lower bounds on the achievable period.
+
+    The paper's §5 MILP bounds the period through per-PE compute rows
+    (1b) and per-interface bandwidth rows (1c)/(1d); relaxing the
+    assignment variables fractionally and aggregating each family over
+    its pool yields bounds that need no LP at all:
+
+    - {e per task}: whatever PE hosts task [k] spends at least its
+      cheapest admissible compute cost and moves the task's own reads
+      and writes through one input and one output interface;
+    - {e unrelated-machine load}: the cheapest costs spread evenly over
+      every PE, with the SPE-ineligible tasks' PPE work spread over the
+      PPE pool alone;
+    - {e interface}: all reads (writes) spread evenly over every input
+      (output) interface.
+
+    They are computed once per instance in O(tasks + edges) and shared
+    by every substrate: {!Mapping_search} seeds its root bound and
+    suffix pre-checks from the arrays, {!Milp_formulation} adds
+    [T >= root] as a cut so even the root LP relaxation starts at the
+    combinatorial bound, and {!Milp_solver} can prove an incumbent
+    within gap {e before any LP solve}. *)
+
+type t = {
+  n_pes : int;
+  n_ppes : int;
+  bw : float;  (** Per-interface bandwidth, bytes/s each direction. *)
+  min_w : float array;
+      (** Per task: cheapest effective compute cost over its admissible
+          PEs (SPE-ineligible tasks only have their PPE cost). *)
+  reads : float array;  (** Per task: input-interface bytes per period. *)
+  writes : float array;
+  forced_wppe : float array;
+      (** Effective PPE cost for tasks whose buffers exceed the SPE
+          local store; [0.] for SPE-eligible tasks. *)
+  root : float;  (** Best static lower bound on the period. *)
+}
+
+val create : Cell.Platform.t -> Streaming.Graph.t -> t
+(** O(tasks + edges); uses the paper's mapping-independent
+    {!Steady_state.buffer_sizes} for SPE eligibility, which is valid
+    with or without colocated-buffer sharing. *)
+
+val root_bound : t -> float
+(** [root_bound t = t.root]. *)
+
+val task_lb : t -> int -> float
+(** Lower bound on the period contributed by task [k] alone:
+    [max min_w.(k) (max reads.(k) writes.(k) / bw)]. The root bound is
+    the maximum of these maxed with the pool averages. *)

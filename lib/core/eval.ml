@@ -351,6 +351,8 @@ let create ?options platform g m =
 
 let compute_on t pe = validate_rows t; t.compute.(pe)
 let memory_on t pe = validate_rows t; t.memory.(pe)
+let bytes_in_on t pe = validate_rows t; t.bytes_in.(pe)
+let bytes_out_on t pe = validate_rows t; t.bytes_out.(pe)
 let dma_in_on t pe = t.dma_in.(pe)
 let dma_to_ppe_on t pe = t.dma_to_ppe.(pe)
 

@@ -108,6 +108,13 @@ val compute_on : t -> int -> float
 val memory_on : t -> int -> float
 (** Committed local-store bytes on a PE. *)
 
+val bytes_in_on : t -> int -> float
+(** Committed input-interface bytes per period on a PE (task reads plus
+    incoming remote edges). *)
+
+val bytes_out_on : t -> int -> float
+(** Committed output-interface bytes per period on a PE. *)
+
 val dma_in_on : t -> int -> int
 
 val dma_to_ppe_on : t -> int -> int

@@ -4,6 +4,7 @@ module P = Cell.Platform
 type options = {
   rel_gap : float;
   max_nodes : int;
+  dive_nodes : int;
   time_limit : float;
   share_colocated_buffers : bool;
 }
@@ -12,6 +13,7 @@ let default_options =
   {
     rel_gap = 0.05;
     max_nodes = 10_000_000;
+    dive_nodes = 32_768;
     time_limit = 30.;
     share_colocated_buffers = false;
   }
@@ -48,6 +50,10 @@ type state = {
       (* tasks whose buffers can fit an SPE at all; the others are
          PPE-forced, a dominance that tightens the node bound *)
   suffix_forced_wppe : float array;  (* PPE work of ineligible order.(pos..) *)
+  bnd : Bounds.t;  (* closed-form §5 relaxations, shared with the MILP *)
+  suffix_reads : float array;  (* interface bytes of order.(pos..) *)
+  suffix_writes : float array;
+  suffix_task_lb : float array;  (* max per-task bound over order.(pos..) *)
 }
 
 let make_state ~share platform g =
@@ -58,7 +64,6 @@ let make_state ~share platform g =
         (G.task g k).Streaming.Task.w_ppe /. platform.P.ppe_speedup)
   in
   let w_spe = Array.init nk (fun k -> (G.task g k).Streaming.Task.w_spe) in
-  let order = G.topological_order g in
   let ratio k = if w_ppe.(k) <= 0. then infinity else w_spe.(k) /. w_ppe.(k) in
   let by_ratio = Array.init nk Fun.id in
   Array.sort (fun a b -> compare (ratio b) (ratio a)) by_ratio;
@@ -85,9 +90,28 @@ let make_state ~share platform g =
         let sum = List.fold_left (fun acc e -> acc +. buff.(e)) 0. in
         sum (G.out_edges g k) +. sum (G.in_edges g k) <= budget +. 1e-9)
   in
+  let bnd = Bounds.create platform g in
+  (* Assignment order: hardest tasks first. Committing the tasks that
+     dominate the binding resources (local-store footprint, then raw
+     work) makes the divisible knapsacks infeasible near the root, where
+     a prune cuts an exponential subtree; any fixed order is complete,
+     and a deterministic one preserves the bitwise contract. *)
+  let order = Array.init nk Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare mem_need.(b) mem_need.(a) in
+      if c <> 0 then c
+      else
+        let c = compare (Float.min w_ppe.(b) w_spe.(b))
+                  (Float.min w_ppe.(a) w_spe.(a)) in
+        if c <> 0 then c else compare a b)
+    order;
   let suffix_mem = Array.make (nk + 1) 0. in
   let suffix_forced_wppe = Array.make (nk + 1) 0. in
   let suffix_wspe = Array.make (nk + 1) 0. in
+  let suffix_reads = Array.make (nk + 1) 0. in
+  let suffix_writes = Array.make (nk + 1) 0. in
+  let suffix_task_lb = Array.make (nk + 1) 0. in
   for pos = nk - 1 downto 0 do
     let k = order.(pos) in
     suffix_mem.(pos) <-
@@ -96,7 +120,11 @@ let make_state ~share platform g =
       (suffix_forced_wppe.(pos + 1)
       +. if spe_eligible.(k) then 0. else w_ppe.(k));
     suffix_wspe.(pos) <-
-      (suffix_wspe.(pos + 1) +. if spe_eligible.(k) then w_spe.(k) else 0.)
+      (suffix_wspe.(pos + 1) +. if spe_eligible.(k) then w_spe.(k) else 0.);
+    suffix_reads.(pos) <- suffix_reads.(pos + 1) +. bnd.Bounds.reads.(k);
+    suffix_writes.(pos) <- suffix_writes.(pos + 1) +. bnd.Bounds.writes.(k);
+    suffix_task_lb.(pos) <-
+      Float.max suffix_task_lb.(pos + 1) (Bounds.task_lb bnd k)
   done;
   {
     platform;
@@ -116,6 +144,10 @@ let make_state ~share platform g =
     suffix_mem;
     spe_eligible;
     suffix_forced_wppe;
+    bnd;
+    suffix_reads;
+    suffix_writes;
+    suffix_task_lb;
   }
 
 let remote_in_edges st k pe =
@@ -189,7 +221,29 @@ let offload_fits st ~order_by ~amount ~pool ~total ~cap_ppe =
    tested, each a fractional knapsack: the SPE *work* pool of capacity
    [sum_j (t - load_j)], and the SPE *local-store* pool of the remaining
    memory budgets (constraint (1i) aggregated over SPEs). *)
+(* Pool-form interface bandwidth check (§5 (1c)/(1d) aggregated over
+   interfaces): any completion routes each remaining task's own reads
+   (writes) through its host PE's input (output) interface, so the spare
+   interface capacity at period [t] — summed over every PE — must cover
+   the remaining bytes. O(n_pes), monotone in [t]. *)
+let interface_feasible st ~pos t =
+  let bw = st.platform.P.bw in
+  let spare committed =
+    let cap = ref 0. in
+    for pe = 0 to P.n_pes st.platform - 1 do
+      cap := !cap +. Float.max 0. ((t *. bw) -. committed pe)
+    done;
+    !cap
+  in
+  let covers cap need = cap >= need -. (1e-9 *. Float.max 1. need) in
+  covers (spare (Eval.bytes_in_on st.ev)) st.suffix_reads.(pos)
+  && covers (spare (Eval.bytes_out_on st.ev)) st.suffix_writes.(pos)
+
 let divisible_feasible st ~pos t =
+  (* O(1): some PE must grant every remaining task its per-task bound. *)
+  t +. 1e-12 >= st.suffix_task_lb.(pos)
+  && interface_feasible st ~pos t
+  &&
   (* Tasks whose buffers exceed the local store are PPE-bound: their work
      consumes PPE capacity before any offloading happens. *)
   let cap_ppe = ppe_capacity st t -. st.suffix_forced_wppe.(pos) in
@@ -252,17 +306,21 @@ let m_subtrees =
   Obs.Metrics.counter ~help:"Mapping branch-and-bound frontier subtree tasks"
     "search_bb_subtrees_total"
 
-(* --- deterministic parallel branch and bound ---------------------------
+(* --- deterministic subtree-parallel branch and bound --------------------
 
-   The tree is cut at a fixed-size frontier: a breadth-first scout
-   expands the root until ~[frontier_target] open prefixes exist, then
-   each prefix becomes an independent subtree task (fresh state, prefix
-   replayed) over a shared {!Incumbent.t}. The frontier size is a
-   constant — not a function of the pool — so the task list is
-   identical however many domains run it.
+   The tree is explored as node-budgeted subtree tasks: each task owns
+   one open prefix, searches it depth-first on a private state, and when
+   its budget runs out hands every still-open branch back as a fresh
+   prefix instead of abandoning it — completeness never depends on the
+   budget. Tasks fan out dynamically over {!Par.Pool.parallel_grow}
+   (work-stealing keeps the domains saturated however lopsided the tree
+   is); the sequential path drains the same tasks off an explicit LIFO
+   stack. Only the *global* limits — the atomic node counter against
+   [max_nodes], the deadline and [should_stop] — abandon work, and they
+   mark the result as limit-hit.
 
    Why the result is independent of execution order (and hence bitwise
-   equal between sequential and parallel runs):
+   equal between sequential and parallel runs of any pool size):
 
    - the incumbent cell is folded under a strict total order, so its
      final content depends only on the *set* of leaves offered;
@@ -275,10 +333,11 @@ let m_subtrees =
      implies every completion is strictly worse than [shared]), so it
      only ever removes leaves strictly worse than the final best —
      removing such leaves cannot change the minimum. Timing changes
-     which of them are skipped, affecting node/prune counters but
-     never the returned mapping. *)
+     which of them are skipped — and therefore where budgets run out
+     and which prefixes are handed back — affecting node/prune/subtree
+     counters but never the returned mapping. *)
 
-let frontier_target = 64
+let subtree_budget = 4096
 
 let assignment st =
   Array.init (G.n_tasks st.g) (fun k -> Eval.pe_of st.ev k)
@@ -331,101 +390,107 @@ let replay st prefix =
       Eval.assign st.ev ~task:st.order.(i) ~pe)
     prefix
 
-let unreplay st prefix =
-  for i = Array.length prefix - 1 downto 0 do
-    Eval.unassign st.ev ~task:st.order.(i)
-  done;
-  st.used_spes <- 0
+(* Shared, mutation-only search context: the incumbent cell, the fixed
+   deterministic threshold, the global limits and the atomic counters
+   every subtree task folds into. *)
+type ctx = {
+  inc : Incumbent.t;
+  det_thr : float;
+  deadline : float;
+  should_stop : unit -> bool;
+  max_nodes : int;
+  c_nodes : int Atomic.t;
+  c_pruned : int Atomic.t;
+  c_incumbents : int Atomic.t;
+  c_subtrees : int Atomic.t;
+  c_limit : bool Atomic.t;
+}
 
-(* Breadth-first frontier expansion on the scout state. Leaves met on
-   the way are offered immediately; returns the open prefixes (FIFO
-   order), counter totals, and whether a limit cut expansion short. *)
-let expand_frontier st ~det_thr ~inc ~deadline ~should_stop ~max_nodes spes =
-  let nk = G.n_tasks st.g in
-  let q = Queue.create () in
-  Queue.push [||] q;
-  let nodes = ref 0 and pruned = ref 0 and incumbents = ref 0 in
-  let limit = ref false in
-  (try
-     while Queue.length q > 0 && Queue.length q < frontier_target do
-       let prefix = Queue.pop q in
-       incr nodes;
-       if !nodes >= max_nodes then raise Limit_hit;
-       if
-         !nodes land 255 = 0
-         && (Unix.gettimeofday () > deadline || should_stop ())
-       then raise Limit_hit;
-       replay st prefix;
-       let d = Array.length prefix in
-       if d = nk then begin
-         if offer_leaf inc st then incr incumbents
-       end
-       else begin
-         let k = st.order.(d) in
-         List.iter
-           (fun pe ->
-             if can_place st k pe then begin
-               let was_used = st.used_spes in
-               bump_used_spes st spes pe;
-               Eval.assign st.ev ~task:k ~pe;
-               if child_pruned st ~pos:(d + 1) ~det_thr ~inc then incr pruned
-               else Queue.push (Array.append prefix [| pe |]) q;
-               Eval.unassign st.ev ~task:k;
-               st.used_spes <- was_used
-             end)
-           (candidates st spes k)
-       end;
-       unreplay st prefix
-     done
-   with Limit_hit -> limit := true);
-  let frontier = Array.make (Queue.length q) [||] in
-  let i = ref 0 in
-  Queue.iter (fun p -> frontier.(!i) <- p; incr i) q;
-  (frontier, !nodes, !pruned, !incumbents, !limit)
+(* One budgeted subtree task: fresh state, replay the prefix, depth-first
+   until the local node budget runs out, then capture every still-open
+   branch (the whole subtree under the current position) as a prefix to
+   hand back. Local counters flush into the atomics every 1024 nodes,
+   which is also when the global limits are polled. Returns the
+   handed-back prefixes; [Limit_hit] abandons the remainder and flags
+   [c_limit]. *)
+let run_task ~share ctx platform g prefix =
+  if Atomic.get ctx.c_limit then [||]
+  else begin
+    let st = make_state ~share platform g in
+    let spes = Array.of_list (P.spes platform) in
+    let nk = G.n_tasks g in
+    replay st prefix;
+    let nodes = ref 0 and flushed = ref 0 in
+    let pruned = ref 0 and incumbents = ref 0 in
+    let spill = ref [] in
+    let flush_and_check () =
+      ignore (Atomic.fetch_and_add ctx.c_nodes (!nodes - !flushed));
+      flushed := !nodes;
+      if
+        Atomic.get ctx.c_nodes >= ctx.max_nodes
+        || Unix.gettimeofday () > ctx.deadline
+        || ctx.should_stop ()
+      then begin
+        Atomic.set ctx.c_limit true;
+        raise Limit_hit
+      end
+    in
+    let prefix_of pos = Array.init pos (fun i -> Eval.pe_of st.ev st.order.(i)) in
+    let rec explore pos =
+      if !nodes >= subtree_budget && pos < nk then
+        (* Budget spent: hand the whole open subtree back as a task.
+           The node is not counted here — it is counted when the new
+           task re-enters it. *)
+        spill := prefix_of pos :: !spill
+      else begin
+        incr nodes;
+        if !nodes land 1023 = 0 then flush_and_check ();
+        if pos = nk then begin
+          if offer_leaf ctx.inc st then incr incumbents
+        end
+        else begin
+          let k = st.order.(pos) in
+          List.iter
+            (fun pe ->
+              if can_place st k pe then begin
+                let was_used = st.used_spes in
+                bump_used_spes st spes pe;
+                Eval.assign st.ev ~task:k ~pe;
+                if
+                  child_pruned st ~pos:(pos + 1) ~det_thr:ctx.det_thr
+                    ~inc:ctx.inc
+                then incr pruned
+                else explore (pos + 1);
+                Eval.unassign st.ev ~task:k;
+                st.used_spes <- was_used
+              end)
+            (candidates st spes k)
+        end
+      end
+    in
+    (try
+       (* Poll the global limits before the first node so an expired
+          deadline or a cancellation cancels on the first check, however
+          small the subtree. *)
+       flush_and_check ();
+       explore (Array.length prefix)
+     with Limit_hit -> spill := []);
+    ignore (Atomic.fetch_and_add ctx.c_nodes (!nodes - !flushed));
+    ignore (Atomic.fetch_and_add ctx.c_pruned !pruned);
+    ignore (Atomic.fetch_and_add ctx.c_incumbents !incumbents);
+    ignore (Atomic.fetch_and_add ctx.c_subtrees 1);
+    Array.of_list !spill
+  end
 
-(* Depth-first search of one subtree on a private state. Returns
-   (nodes, pruned, incumbents, hit_limit). *)
-let run_subtree ~share ~det_thr ~inc ~budget ~deadline ~should_stop platform g
-    prefix =
-  let st = make_state ~share platform g in
-  let spes = Array.of_list (P.spes platform) in
-  let nk = G.n_tasks g in
-  replay st prefix;
-  let nodes = ref 0 and pruned = ref 0 and incumbents = ref 0 in
-  let rec explore pos =
-    incr nodes;
-    if !nodes >= budget then raise Limit_hit;
-    if
-      !nodes land 4095 = 0
-      && (Unix.gettimeofday () > deadline || should_stop ())
-    then raise Limit_hit;
-    if pos = nk then begin
-      if offer_leaf inc st then incr incumbents
-    end
-    else begin
-      let k = st.order.(pos) in
-      List.iter
-        (fun pe ->
-          if can_place st k pe then begin
-            let was_used = st.used_spes in
-            bump_used_spes st spes pe;
-            Eval.assign st.ev ~task:k ~pe;
-            if child_pruned st ~pos:(pos + 1) ~det_thr ~inc then incr pruned
-            else explore (pos + 1);
-            Eval.unassign st.ev ~task:k;
-            st.used_spes <- was_used
-          end)
-        (candidates st spes k)
-    end
-  in
-  let hit =
-    try
-      if Unix.gettimeofday () > deadline || should_stop () then raise Limit_hit;
-      explore (Array.length prefix);
-      false
-    with Limit_hit -> true
-  in
-  (!nodes, !pruned, !incumbents, hit)
+(* Sequential twin of {!Par.Pool.parallel_grow}: drain the task set off
+   an explicit LIFO stack (depth-first overall, so memory stays bounded
+   by the open prefixes of one root-to-leaf path per budget layer). *)
+let sequential_grow f roots =
+  let stack = Stack.create () in
+  Array.iter (fun r -> Stack.push r stack) roots;
+  while not (Stack.is_empty stack) do
+    Array.iter (fun c -> Stack.push c stack) (f (Stack.pop stack))
+  done
 
 let solve ?(options = default_options) ?(should_stop = fun () -> false)
     ?incumbent ?(extra_lower_bound = 0.) ?pool platform g =
@@ -438,13 +503,17 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
         if not (Eval.scratch_feasible ~options:eval_options platform g m) then
           invalid_arg "Mapping_search.solve: incumbent is infeasible";
         m
-    | None -> (
-        match
-          Heuristics.best_feasible platform g
-            (Heuristics.standard_candidates ~with_lp:false platform g)
-        with
-        | Some (_, m) -> m
-        | None -> Heuristics.ppe_only platform g)
+    | None ->
+        (* Portfolio seed: every standard candidate plus the seeded
+           restarts, each polished by local search. Every point of
+           period the seed recovers shrinks [det_thr] and with it the
+           whole tree — on the paper's 50-task instances the difference
+           is between closing at the root and millions of open nodes.
+           The portfolio is bitwise deterministic at any pool size, so
+           the determinism contract is unaffected. *)
+        (Portfolio.solve ?pool ~should_stop
+           ~share_colocated_buffers:share platform g)
+          .Portfolio.best
   in
   let init_period =
     Eval.scratch_period ~options:eval_options platform g incumbent_mapping
@@ -456,40 +525,75 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
   let det_thr = init_period *. (1. -. options.rel_gap) in
   let deadline = Unix.gettimeofday () +. options.time_limit in
   let root_bound = node_bound st ~pos:0 ~hi:init_period in
-  let root_bound = Float.max root_bound extra_lower_bound in
-  let spes = Array.of_list (P.spes platform) in
-  let frontier, exp_nodes, exp_pruned, exp_incumbents, exp_limit =
-    expand_frontier st ~det_thr ~inc ~deadline ~should_stop
-      ~max_nodes:options.max_nodes spes
+  let root_bound =
+    Float.max root_bound
+      (Float.max extra_lower_bound (Bounds.root_bound st.bnd))
   in
-  (* Per-subtree node budget, fixed by the (deterministic) frontier so
-     budget exhaustion does not depend on scheduling either. *)
-  let budget =
-    max 1 ((options.max_nodes - exp_nodes) / max 1 (Array.length frontier))
+  let ctx =
+    {
+      inc;
+      det_thr;
+      deadline;
+      should_stop;
+      max_nodes = min options.dive_nodes options.max_nodes;
+      c_nodes = Atomic.make 0;
+      c_pruned = Atomic.make 0;
+      c_incumbents = Atomic.make 0;
+      c_subtrees = Atomic.make 0;
+      c_limit = Atomic.make false;
+    }
   in
-  let run prefix =
-    run_subtree ~share ~det_thr ~inc ~budget ~deadline ~should_stop platform g
-      prefix
+  (* The combinatorial root bound can prove the (polished) incumbent
+     within gap outright — then there is no tree to search. *)
+  let limit_hit =
+    if root_bound >= det_thr then false
+    else begin
+      (* Phase A — the dive: always sequential under a fixed node
+         budget, so its incumbent is a pure function of the instance
+         whatever the pool size. Hardest-first DFS typically lands
+         within a fraction of a percent of the optimum here. *)
+      sequential_grow (run_task ~share ctx platform g) [| [||] |];
+      if not (Atomic.get ctx.c_limit) then false
+      else if Unix.gettimeofday () > deadline || should_stop () then true
+      else begin
+        (* Phase B at the deterministically tightened threshold: the
+           dive incumbent re-derives the gap rule, so when it is within
+           [rel_gap] of the root bound the whole tree prunes at the
+           root — gap closure expressed as exhaustion. Only a still-open
+           tree is fanned out over the pool. *)
+        let thr_b =
+          Float.min det_thr
+            (Incumbent.period inc *. (1. -. options.rel_gap))
+        in
+        if root_bound >= thr_b then false
+        else if Atomic.get ctx.c_nodes >= options.max_nodes then true
+        else begin
+          let ctx =
+            {
+              ctx with
+              det_thr = thr_b;
+              max_nodes = options.max_nodes;
+              c_limit = Atomic.make false;
+            }
+          in
+          let run prefix = run_task ~share ctx platform g prefix in
+          (match pool with
+          | Some p -> Par.Pool.parallel_grow p run [| [||] |]
+          | None -> sequential_grow run [| [||] |]);
+          Atomic.get ctx.c_limit
+        end
+      end
+    end
   in
-  let outcomes =
-    if exp_limit then [||]
-    else
-      match pool with
-      | Some p when Array.length frontier > 1 -> Par.Pool.parallel_map p run frontier
-      | _ -> Array.map run frontier
-  in
-  let fold f init = Array.fold_left f init outcomes in
-  let nodes = fold (fun a (n, _, _, _) -> a + n) exp_nodes in
-  let pruned = fold (fun a (_, p, _, _) -> a + p) exp_pruned in
-  let incumbents = fold (fun a (_, _, i, _) -> a + i) exp_incumbents in
-  let optimal_within_gap =
-    (not exp_limit) && not (fold (fun a (_, _, _, h) -> a || h) false)
-  in
+  let nodes = Atomic.get ctx.c_nodes in
+  let pruned = Atomic.get ctx.c_pruned in
+  let incumbents = Atomic.get ctx.c_incumbents in
+  let optimal_within_gap = not limit_hit in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.Counter.add m_nodes nodes;
     Obs.Metrics.Counter.add m_pruned pruned;
     Obs.Metrics.Counter.add m_incumbents incumbents;
-    Obs.Metrics.Counter.add m_subtrees (Array.length frontier)
+    Obs.Metrics.Counter.add m_subtrees (Atomic.get ctx.c_subtrees)
   end;
   let e = Option.get (Incumbent.best inc) in
   let mapping = Mapping.make platform g e.Incumbent.arr in

@@ -52,6 +52,15 @@ let buffers g =
   let fp = Steady_state.first_periods g in
   Steady_state.buffer_sizes ~first_periods:fp g
 
+(* Combinatorial root cut: [T >= Bounds.root] is implied by the integer
+   program but not by its LP relaxation, so adding it as an explicit row
+   starts every relaxation — the root LP and each branch-and-bound
+   node — at the closed-form §5 bound instead of below it. *)
+let add_combinatorial_cut problem platform g t_var =
+  let lb = Bounds.root_bound (Bounds.create platform g) in
+  if lb > 0. then
+    Pb.add_constr problem ~name:"comb_root_lb" (Lp.Expr.term t_var) Pb.Ge lb
+
 (* ------------------------------------------------------------------ *)
 (* Full formulation: paper constraints (1a)-(1k).                      *)
 (* ------------------------------------------------------------------ *)
@@ -211,6 +220,7 @@ let build_full ?(integral_beta = false) ?(share_colocated_buffers = false)
       add (Printf.sprintf "link_out_%d" c) (crossing ~outgoing:true);
       add (Printf.sprintf "link_in_%d" c) (crossing ~outgoing:false)
     done;
+  add_combinatorial_cut problem platform g t_var;
   Pb.set_objective problem Pb.Minimize (Lp.Expr.term t_var);
   let encode mapping =
     let x = Array.make (Pb.n_vars problem) 0. in
@@ -410,6 +420,7 @@ let build_compact ?(share_colocated_buffers = false) platform g =
       add (Printf.sprintf "link_in_%d" c) !ins
     done
   end;
+  add_combinatorial_cut problem platform g t_var;
   Pb.set_objective problem Pb.Minimize (Lp.Expr.term t_var);
   let zvars = !zvars and gvars = !gvars and cross_vars = !cross_vars in
   let encode mapping =

@@ -63,6 +63,21 @@ let pick_engine options platform g =
       if G.n_tasks g * P.n_pes platform <= 40 then Exact else Search
 
 let solve_exact ~options ~should_stop ~start platform g incumbent =
+  let share = options.share_colocated_buffers in
+  (* Combinatorial pre-check: when the closed-form §5 bound already
+     proves the (polished) incumbent within [rel_gap], no LP is ever
+     built or solved. *)
+  let comb = Bounds.root_bound (Bounds.create platform g) in
+  let inc_period =
+    Eval.scratch_period
+      ~options:(Eval.make_options ~share_colocated_buffers:share ())
+      platform g incumbent
+  in
+  if inc_period > 0. && (inc_period -. comb) /. inc_period <= options.rel_gap
+  then
+    finish ~share ~start ~platform ~g ~mapping:incumbent ~lower_bound:comb
+      ~proven:true ~nodes:0
+  else begin
   let formulation =
     Milp_formulation.build_compact
       ~share_colocated_buffers:options.share_colocated_buffers platform g
@@ -94,9 +109,10 @@ let solve_exact ~options ~should_stop ~start platform g incumbent =
         else (incumbent, false)
     | None -> (incumbent, false)
   in
-  let lower_bound = Float.max 0. outcome.Lp.Branch_bound.bound in
+  let lower_bound = Float.max comb outcome.Lp.Branch_bound.bound in
   finish ~share:options.share_colocated_buffers ~start ~platform ~g ~mapping
     ~lower_bound ~proven ~nodes:outcome.Lp.Branch_bound.nodes
+  end
 
 (* The dense-inverse simplex is only trusted on LPs small enough to stay
    numerically healthy; beyond this the root bound comes from the search's
@@ -131,6 +147,7 @@ let solve_search ~options ~should_stop ~start ?pool platform g incumbent =
     {
       Mapping_search.rel_gap = options.rel_gap;
       max_nodes = options.max_nodes;
+      dive_nodes = Mapping_search.default_options.Mapping_search.dive_nodes;
       time_limit = options.time_limit;
       share_colocated_buffers = options.share_colocated_buffers;
     }

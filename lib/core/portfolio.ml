@@ -11,6 +11,7 @@ type candidate = {
 type result = {
   best : Mapping.t;
   period : float;
+  lower_bound : float;
   candidates : candidate list;
 }
 
@@ -90,5 +91,6 @@ let solve ?pool ?(should_stop = fun () -> false) ?(restarts = default_restarts)
   {
     best = Mapping.make platform g e.Incumbent.arr;
     period = e.Incumbent.period;
+    lower_bound = Bounds.root_bound (Bounds.create platform g);
     candidates = List.filter_map Fun.id (Array.to_list candidates);
   }

@@ -28,6 +28,10 @@ type candidate = {
 type result = {
   best : Mapping.t;
   period : float;
+  lower_bound : float;
+      (** Closed-form {!Bounds.root_bound} of the instance — heuristics
+          prove nothing on their own, but the combinatorial bound gives
+          every caller an honest optimality gap for free. *)
   candidates : candidate list;  (** in entrant order, for reporting *)
 }
 

@@ -98,11 +98,26 @@ let parse ~load_graph ?default_spes ?default_strategy lineno line =
 
 let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
 
-let render_reply ~id ~partial response =
-  Printf.sprintf "BEGIN %s %s\n%sEND %s\n" id
+(* [bound] is quoted only on partial replies: a partial answer is the
+   one case where the client cannot tell how far from optimal it is, so
+   the proven lower bound and the implied gap ride along as extra body
+   lines. Complete replies stay byte-identical to the historical frame
+   (clients and the CI regexes parse them positionally). *)
+let render_reply ~id ~partial ?bound response =
+  let bound_lines =
+    match bound with
+    | Some lb when partial ->
+        let p = response.Service.Batch.period in
+        let gap =
+          if p > 0. && Float.is_finite p then (p -. lb) /. p *. 100. else 0.
+        in
+        Printf.sprintf "lower_bound: %.17g s\ngap: %.2f%%\n" lb gap
+    | _ -> ""
+  in
+  Printf.sprintf "BEGIN %s %s\n%s%sEND %s\n" id
     (if partial then "partial" else "ok")
     (Service.Batch.render response)
-    id
+    bound_lines id
 
 let render_reject ~id = Printf.sprintf "REJECT %s overload\n" id
 let render_error ~id reason = Printf.sprintf "ERROR %s %s\n" id (one_line reason)

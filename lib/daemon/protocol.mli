@@ -62,7 +62,12 @@ val parse :
     [load_graph]) becomes {!Malformed}. [lineno] seeds error messages. *)
 
 val render_reply :
-  id:string -> partial:bool -> Service.Batch.response -> string
+  id:string -> partial:bool -> ?bound:float -> Service.Batch.response -> string
+(** [bound] (a proven lower bound on the optimal period) is quoted —
+    with the optimality gap it implies against the response period — as
+    extra [lower_bound:]/[gap:] body lines on {e partial} replies only;
+    complete ([ok]) replies stay byte-identical to the historical
+    frame. *)
 
 val render_reject : id:string -> string
 val render_error : id:string -> string -> string

@@ -98,6 +98,7 @@ type outcome =
   | Finished of {
       assignment : int array;
       period : float;
+      bound : float;  (* proven lower bound, quoted on partial replies *)
       partial : bool;
       deadline_hit : bool;
     }
@@ -291,9 +292,9 @@ let next_id t =
   t.auto_id <- t.auto_id + 1;
   Printf.sprintf "q%d" t.auto_id
 
-let send_reply t (job : job) ~partial response =
+let send_reply t (job : job) ~partial ?bound response =
   let latency = Unix.gettimeofday () -. job.received in
-  job.out (Protocol.render_reply ~id:job.id ~partial response);
+  job.out (Protocol.render_reply ~id:job.id ~partial ?bound response);
   t.replies <- t.replies + 1;
   observe_latency latency;
   let status : status =
@@ -327,11 +328,12 @@ let run_job t (job : job) =
   in
   let outcome =
     match Batch.solve_request ~should_stop job.request with
-    | assignment, period ->
+    | assignment, period, bound ->
         Finished
           {
             assignment;
             period;
+            bound;
             partial = !cancelled;
             deadline_hit = !deadline_hit;
           }
@@ -349,7 +351,7 @@ let finish_job t { job; outcome } =
   Admission.finish t.admission;
   match outcome with
   | Crashed reason -> send_error t ~id:job.id ~out:job.out reason
-  | Finished { assignment; period; partial; deadline_hit } ->
+  | Finished { assignment; period; bound; partial; deadline_hit } ->
       (* Partial results are timing-dependent: render them, never cache
          them (store:false), so the deterministic cache stays a pure
          function of the completed-solve history. *)
@@ -367,7 +369,9 @@ let finish_job t { job; outcome } =
         t.dirty <- true;
         metrics_inc m_solved
       end;
-      send_reply t job ~partial response
+      send_reply t job ~partial
+        ?bound:(if partial then Some bound else None)
+        response
 
 let drain_completed t =
   let pending = Queue.create () in

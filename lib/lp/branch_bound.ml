@@ -16,6 +16,8 @@ type outcome = {
   bound : float;
   nodes : int;
   gap : float;
+  lp_warm : int;
+  lp_cold : int;
 }
 
 (* Default-off observability hooks: totals flushed once per solve so the
@@ -36,9 +38,16 @@ let m_gap =
   Obs.Metrics.gauge ~help:"Relative gap of the last MILP solve"
        "lp_bb_last_gap"
 
-(* A node is a set of tightened bounds plus the bound inherited from its
-   parent's relaxation (a valid lower bound on every leaf below it). *)
-type node = { nlb : float array; nub : float array; nbound : float }
+(* A node is a set of tightened bounds, the bound inherited from its
+   parent's relaxation (a valid lower bound on every leaf below it), and
+   the parent's optimal basis: the child differs by one bound flip, so
+   re-solving from that basis is a handful of dual-simplex pivots. *)
+type node = {
+  nlb : float array;
+  nub : float array;
+  nbound : float;
+  nbasis : Simplex.basis option;
+}
 
 module Node_heap = Support.Binary_heap.Make (struct
   type t = node
@@ -81,6 +90,8 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
   let nodes = ref 0 in
   let pruned = ref 0 in
   let incumbents = ref 0 in
+  let lp_warm = ref 0 in
+  let lp_cold = ref 0 in
   let open_nodes = Node_heap.create () in
   (* Try to install a solution as incumbent. *)
   let offer (sol : Simplex.solution) =
@@ -112,6 +123,52 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
         match Simplex.solve ~lb ~ub problem with
         | Simplex.Optimal sol -> offer sol
         | Simplex.Infeasible | Simplex.Unbounded -> ());
+  let solve_node ~warm ~lb ~ub =
+    let r = Simplex.solve_detailed ?warm ~lb ~ub problem in
+    (match r with
+    | Simplex.Opt { warm = true; _ } -> incr lp_warm
+    | _ -> incr lp_cold);
+    r
+  in
+  (* Reduced-cost bound tightening: with node relaxation value [obj] and
+     incumbent [U], a nonbasic integer variable with reduced cost [d] can
+     move at most (U - obj) / |d| from its bound before the LP bound
+     alone exceeds the incumbent. Returns None when some integer domain
+     empties (the whole subtree is dominated). *)
+  let tighten ~obj (solved : Simplex.solved) lb ub =
+    if !incumbent_obj = infinity then Some (lb, ub)
+    else begin
+      let slack = !incumbent_obj -. obj in
+      let d = solved.reduced_costs in
+      let tlb = ref lb and tub = ref ub and dead = ref false in
+      let ensure_lb () = if !tlb == lb then tlb := Array.copy lb in
+      let ensure_ub () = if !tub == ub then tub := Array.copy ub in
+      List.iter
+        (fun v ->
+          if not !dead && abs_float d.(v) > 1e-9 then begin
+            let x = solved.sol.x.(v) in
+            if d.(v) > 0. && x <= lb.(v) +. options.int_tol then begin
+              (* At lower bound; moving up costs d per unit. *)
+              let cap = floor (lb.(v) +. (slack /. d.(v)) +. options.int_tol) in
+              if cap < ub.(v) then begin
+                ensure_ub ();
+                !tub.(v) <- cap;
+                if cap < lb.(v) -. 1e-9 then dead := true
+              end
+            end
+            else if d.(v) < 0. && x >= ub.(v) -. options.int_tol then begin
+              let cap = ceil (ub.(v) +. (slack /. d.(v)) -. options.int_tol) in
+              if cap > lb.(v) then begin
+                ensure_lb ();
+                !tlb.(v) <- cap;
+                if cap > ub.(v) +. 1e-9 then dead := true
+              end
+            end
+          end)
+        int_vars;
+      if !dead then None else Some (!tlb, !tub)
+    end
+  in
   let best_open_bound () =
     if Node_heap.is_empty open_nodes then infinity
     else (Node_heap.min_elt open_nodes).nbound
@@ -131,17 +188,24 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
       bound = of_internal bound;
       nodes = !nodes;
       gap;
+      lp_warm = !lp_warm;
+      lp_cold = !lp_cold;
     }
   in
   (* Solve the root. *)
-  match Simplex.solve ~lb:lb0 ~ub:ub0 problem with
-  | Simplex.Infeasible ->
+  match solve_node ~warm:None ~lb:lb0 ~ub:ub0 with
+  | Simplex.Infeas ->
       if !incumbent = None then finish Infeasible infinity
       else finish Optimal !incumbent_obj
-  | Simplex.Unbounded -> finish Unbounded neg_infinity
-  | Simplex.Optimal root ->
+  | Simplex.Unbound -> finish Unbounded neg_infinity
+  | Simplex.Opt root ->
       Node_heap.add open_nodes
-        { nlb = lb0; nub = ub0; nbound = to_internal root.objective };
+        {
+          nlb = lb0;
+          nub = ub0;
+          nbound = to_internal root.sol.objective;
+          nbasis = Some root.sbasis;
+        };
       let exception Done of outcome in
       (try
          while not (Node_heap.is_empty open_nodes) do
@@ -165,32 +229,47 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
            (* Prune against the incumbent. *)
            if node.nbound >= !incumbent_obj -. 1e-12 then incr pruned
            else begin
-             match Simplex.solve ~lb:node.nlb ~ub:node.nub problem with
-             | Simplex.Infeasible -> ()
-             | Simplex.Unbounded ->
+             match solve_node ~warm:node.nbasis ~lb:node.nlb ~ub:node.nub with
+             | Simplex.Infeas -> ()
+             | Simplex.Unbound ->
                  (* Can only happen at the root, handled above; deeper nodes
                     inherit the root's bounded feasible region. *)
                  raise (Done (finish Unbounded neg_infinity))
-             | Simplex.Optimal sol ->
+             | Simplex.Opt solved ->
+                 let sol = solved.sol in
                  let obj = to_internal sol.objective in
                  if obj < !incumbent_obj -. 1e-12 then begin
                    match
                      find_branch_var ~int_tol:options.int_tol int_vars sol.x
                    with
                    | None -> offer sol
-                   | Some v ->
-                       let x = sol.x.(v) in
-                       let down_ub = Float.of_int (int_of_float (floor x)) in
-                       let left_ub = Array.copy node.nub in
-                       left_ub.(v) <- Float.min left_ub.(v) down_ub;
-                       if left_ub.(v) >= node.nlb.(v) -. 1e-9 then
-                         Node_heap.add open_nodes
-                           { nlb = node.nlb; nub = left_ub; nbound = obj };
-                       let right_lb = Array.copy node.nlb in
-                       right_lb.(v) <- Float.max right_lb.(v) (down_ub +. 1.);
-                       if right_lb.(v) <= node.nub.(v) +. 1e-9 then
-                         Node_heap.add open_nodes
-                           { nlb = right_lb; nub = node.nub; nbound = obj }
+                   | Some v -> (
+                       match tighten ~obj solved node.nlb node.nub with
+                       | None -> incr pruned
+                       | Some (lb, ub) ->
+                           let x = sol.x.(v) in
+                           let down_ub = Float.of_int (int_of_float (floor x)) in
+                           let left_ub = Array.copy ub in
+                           left_ub.(v) <- Float.min left_ub.(v) down_ub;
+                           if left_ub.(v) >= lb.(v) -. 1e-9 then
+                             Node_heap.add open_nodes
+                               {
+                                 nlb = lb;
+                                 nub = left_ub;
+                                 nbound = obj;
+                                 nbasis = Some solved.sbasis;
+                               };
+                           let right_lb = Array.copy lb in
+                           right_lb.(v) <-
+                             Float.max right_lb.(v) (down_ub +. 1.);
+                           if right_lb.(v) <= ub.(v) +. 1e-9 then
+                             Node_heap.add open_nodes
+                               {
+                                 nlb = right_lb;
+                                 nub = ub;
+                                 nbound = obj;
+                                 nbasis = Some solved.sbasis;
+                               })
                  end
            end
          done;

@@ -2,7 +2,11 @@
 
     Works on any {!Problem.t}; [Integer] variables are branched on, the
     continuous relaxation being solved by {!Simplex}. Nodes are explored
-    best-bound-first. The solver mirrors the paper's use of CPLEX (§6): it
+    best-bound-first, each carrying its parent's optimal basis so child
+    re-solves run the dual-simplex warm path (one bound flip from
+    optimal) instead of a cold two-phase solve; reduced costs from each
+    relaxation tighten the integer bounds of the subtree against the
+    incumbent. The solver mirrors the paper's use of CPLEX (§6): it
     can stop as soon as the incumbent is proven within a relative gap of
     the optimum (the paper used 5 %), and it accepts a warm-start
     assignment (e.g. from a heuristic) as the initial incumbent. *)
@@ -33,6 +37,8 @@ type outcome = {
           bound when maximizing). *)
   nodes : int;  (** Nodes expanded. *)
   gap : float;  (** Achieved relative gap; [infinity] without incumbent. *)
+  lp_warm : int;  (** Node relaxations answered by the dual warm path. *)
+  lp_cold : int;  (** Node relaxations that ran the cold two-phase path. *)
 }
 
 val solve :

@@ -1,8 +1,14 @@
 type solution = { x : float array; objective : float; iterations : int }
 type result = Optimal of solution | Infeasible | Unbounded
-type stats = { mutable solves : int; mutable total_iterations : int }
 
-let stats = { solves = 0; total_iterations = 0 }
+type stats = {
+  mutable solves : int;
+  mutable total_iterations : int;
+  mutable warm_solves : int;
+  mutable warm_failures : int;
+}
+
+let stats = { solves = 0; total_iterations = 0; warm_solves = 0; warm_failures = 0 }
 
 (* Default-off observability hooks (see lib/obs): registered eagerly at
    module init — forcing a lazy cell from several domains is racy. *)
@@ -12,6 +18,15 @@ let m_solves =
 let m_pivots =
   Obs.Metrics.counter ~help:"Simplex pivots (phase 1 + phase 2)"
        "lp_simplex_pivots_total"
+
+let m_warm =
+  Obs.Metrics.counter ~help:"LP solves answered by the dual-simplex warm path"
+    "lp_warm_solves_total"
+
+let m_warm_fail =
+  Obs.Metrics.counter
+    ~help:"Warm starts abandoned for a cold two-phase solve"
+    "lp_warm_failures_total"
 
 let m_iterations =
   Obs.Metrics.histogram ~help:"Pivots per solve"
@@ -24,6 +39,12 @@ let pivot_tol = 1e-9  (* smallest usable pivot magnitude *)
 let feas_tol = 1e-7  (* phase-1 residual infeasibility threshold *)
 
 type status = At_lower | At_upper | Basic | Free_nb
+
+(* An exportable basis: one status per structural-then-slack variable
+   plus the row -> basic-variable map. Artificials never appear (a basic
+   artificial at zero is relabeled as the row's slack on export, which
+   spans the same unit column). *)
+type basis = { vstatus : status array; vbasis : int array }
 
 (* Computational form: min c.x, A x = b (slack per row), l <= x <= u.
    Columns are sparse; the basis inverse is dense. *)
@@ -43,6 +64,7 @@ type tableau = {
   binv : float array;  (* dense basis inverse, m x m, row-major *)
   y : float array;  (* scratch: simplex multipliers *)
   w : float array;  (* scratch: FTRAN result *)
+  gamma : float array;  (* Devex reference weights, one per column *)
 }
 
 let build problem ~lb_over ~ub_over =
@@ -136,6 +158,7 @@ let residuals m n col_idx col_val b x =
 
 exception Unbounded_exn
 exception Iteration_limit
+exception Numerics  (* warm-start path gave up; caller falls back cold *)
 
 (* Recompute basic values from scratch: x_B = B^-1 (b - N x_N). *)
 let refresh_basics tab =
@@ -158,31 +181,133 @@ let refresh_basics tab =
     tab.x.(tab.basis.(i)) <- !acc
   done
 
-(* One simplex phase: optimize tab.c from the current basis. *)
+(* BTRAN: y = c_B B^-1 into tab.y. *)
+let compute_multipliers tab =
+  let m = tab.m in
+  let y = tab.y in
+  Array.fill y 0 m 0.;
+  for i = 0 to m - 1 do
+    let cb = tab.c.(tab.basis.(i)) in
+    if cb <> 0. then begin
+      let base = i * m in
+      for j = 0 to m - 1 do
+        y.(j) <- y.(j) +. (cb *. tab.binv.(base + j))
+      done
+    end
+  done
+
+(* Reduced cost of column q against the multipliers in tab.y. *)
+let reduced_cost tab q =
+  let idx = tab.col_idx.(q) and vl = tab.col_val.(q) in
+  let d = ref tab.c.(q) in
+  let y = tab.y in
+  for k = 0 to Array.length idx - 1 do
+    d := !d -. (y.(idx.(k)) *. vl.(k))
+  done;
+  !d
+
+(* Rank-1 update of the dense basis inverse after pivoting column q into
+   row r; [w] is the FTRAN result B^-1 A_q. *)
+let update_binv tab w r =
+  let m = tab.m in
+  let wr = w.(r) in
+  let binv = tab.binv in
+  let rbase = r * m in
+  let inv_wr = 1. /. wr in
+  for j = 0 to m - 1 do
+    binv.(rbase + j) <- binv.(rbase + j) *. inv_wr
+  done;
+  for i = 0 to m - 1 do
+    let wi = w.(i) in
+    if i <> r && wi <> 0. then begin
+      let ibase = i * m in
+      for j = 0 to m - 1 do
+        let p = binv.(rbase + j) in
+        if p <> 0. then binv.(ibase + j) <- binv.(ibase + j) -. (wi *. p)
+      done
+    end
+  done
+
+(* Rebuild tab.binv exactly from the current basis columns by
+   Gauss-Jordan with partial pivoting. Makes the final point a pure
+   function of the final basis (no drift from accumulated rank-1
+   updates), which is what lets a warm solve that lands on the same
+   basis as a cold solve reproduce it bitwise.
+   @raise Numerics when the basis matrix is (near-)singular. *)
+let refactorize tab =
+  let m = tab.m in
+  let a = Array.make (m * m) 0. in
+  for j = 0 to m - 1 do
+    let v = tab.basis.(j) in
+    let idx = tab.col_idx.(v) and vl = tab.col_val.(v) in
+    for k = 0 to Array.length idx - 1 do
+      a.((idx.(k) * m) + j) <- vl.(k)
+    done
+  done;
+  let binv = tab.binv in
+  Array.fill binv 0 (m * m) 0.;
+  for i = 0 to m - 1 do
+    binv.((i * m) + i) <- 1.
+  done;
+  let swap_rows arr r1 r2 =
+    if r1 <> r2 then begin
+      let b1 = r1 * m and b2 = r2 * m in
+      for j = 0 to m - 1 do
+        let t = arr.(b1 + j) in
+        arr.(b1 + j) <- arr.(b2 + j);
+        arr.(b2 + j) <- t
+      done
+    end
+  in
+  for col = 0 to m - 1 do
+    let p = ref col in
+    for i = col + 1 to m - 1 do
+      if abs_float a.((i * m) + col) > abs_float a.((!p * m) + col) then p := i
+    done;
+    let piv = a.((!p * m) + col) in
+    if abs_float piv < 1e-11 then raise Numerics;
+    swap_rows a !p col;
+    swap_rows binv !p col;
+    let base = col * m in
+    let inv = 1. /. piv in
+    for j = 0 to m - 1 do
+      a.(base + j) <- a.(base + j) *. inv;
+      binv.(base + j) <- binv.(base + j) *. inv
+    done;
+    for i = 0 to m - 1 do
+      if i <> col then begin
+        let f = a.((i * m) + col) in
+        if f <> 0. then begin
+          let ib = i * m in
+          for j = 0 to m - 1 do
+            a.(ib + j) <- a.(ib + j) -. (f *. a.(base + j));
+            binv.(ib + j) <- binv.(ib + j) -. (f *. binv.(base + j))
+          done
+        end
+      end
+    done
+  done
+
+(* One primal simplex phase: optimize tab.c from the current basis.
+   Devex pricing (reference weights in tab.gamma) with a Bland's-rule
+   fallback against cycling. *)
 let optimize tab ~max_iters =
   let m = tab.m and ntot = tab.ntot in
   let iters = ref 0 in
   let degenerate_run = ref 0 in
   let use_bland () = !degenerate_run > 200 + m in
+  Array.fill tab.gamma 0 ntot 1.;
   let continue_ = ref true in
   while !continue_ do
     if !iters >= max_iters then raise Iteration_limit;
     incr iters;
     if !iters land 1023 = 0 then refresh_basics tab;
-    (* BTRAN: y = c_B B^-1. *)
+    (* A Devex reference framework goes stale after many pivots. *)
+    if !iters land 4095 = 0 then Array.fill tab.gamma 0 ntot 1.;
+    compute_multipliers tab;
     let y = tab.y in
-    Array.fill y 0 m 0.;
-    for i = 0 to m - 1 do
-      let cb = tab.c.(tab.basis.(i)) in
-      if cb <> 0. then begin
-        let base = i * m in
-        for j = 0 to m - 1 do
-          y.(j) <- y.(j) +. (cb *. tab.binv.(base + j))
-        done
-      end
-    done;
-    (* Pricing: find entering column. *)
-    let best = ref (-1) and best_score = ref dual_tol and best_dir = ref 1. in
+    (* Pricing: find entering column, largest d^2 / gamma. *)
+    let best = ref (-1) and best_score = ref neg_infinity and best_dir = ref 1. in
     let bland = use_bland () in
     (try
        for q = 0 to ntot - 1 do
@@ -210,10 +335,13 @@ let optimize tab ~max_iters =
                  best_dir := dir;
                  raise Exit
                end
-               else if abs_float !d > !best_score then begin
-                 best := q;
-                 best_score := abs_float !d;
-                 best_dir := dir
+               else begin
+                 let score = !d *. !d /. tab.gamma.(q) in
+                 if score > !best_score then begin
+                   best := q;
+                   best_score := score;
+                   best_dir := dir
+                 end
                end
        done
      with Exit -> ());
@@ -297,34 +425,190 @@ let optimize tab ~max_iters =
         tab.x.(q) <- tab.x.(q) +. (dir *. t);
         tab.status.(q) <- Basic;
         tab.basis.(r) <- q;
-        (* Rank-1 update of the dense basis inverse. *)
         let wr = w.(r) in
-        let binv = tab.binv in
-        let rbase = r * m in
-        let inv_wr = 1. /. wr in
-        for j = 0 to m - 1 do
-          binv.(rbase + j) <- binv.(rbase + j) *. inv_wr
-        done;
-        for i = 0 to m - 1 do
-          let wi = w.(i) in
-          if i <> r && wi <> 0. then begin
-            let ibase = i * m in
-            for j = 0 to m - 1 do
-              let p = binv.(rbase + j) in
-              if p <> 0. then binv.(ibase + j) <- binv.(ibase + j) -. (wi *. p)
-            done
-          end
-        done
+        update_binv tab w r;
+        (* Devex weight update: the post-pivot row r of binv gives
+           alpha_rj / alpha_rq directly. *)
+        if not bland then begin
+          let gq = tab.gamma.(q) in
+          let rbase = r * m in
+          for j = 0 to ntot - 1 do
+            if j <> q && tab.status.(j) <> Basic then begin
+              let jdx = tab.col_idx.(j) and jvl = tab.col_val.(j) in
+              let a = ref 0. in
+              for k = 0 to Array.length jdx - 1 do
+                a := !a +. (tab.binv.(rbase + jdx.(k)) *. jvl.(k))
+              done;
+              let cand = !a *. !a *. gq in
+              if cand > tab.gamma.(j) then tab.gamma.(j) <- cand
+            end
+          done;
+          tab.gamma.(lv) <- Float.max (gq /. (wr *. wr)) 1.
+        end
       end
     end
   done;
   !iters
 
-let solve ?lb:lb_over ?ub:ub_over problem =
+(* Dual simplex: from a dual-feasible basis whose basic values may
+   violate their bounds (the warm-start situation: a child node flipped
+   a bound under its parent's optimal basis), pivot until primal
+   feasible. Each iteration picks the worst-violating row, then the
+   entering column by the bounded-variable dual ratio test, which keeps
+   every nonbasic reduced cost on its feasible side.
+   @raise Numerics on a vanishing pivot (caller falls back cold)
+   @raise Exit when some row has no entering candidate: the dual is
+   unbounded, i.e. the (child) LP is infeasible. *)
+let dual_optimize tab ~max_iters =
+  let m = tab.m and ntot = tab.ntot in
+  let iters = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if !iters >= max_iters then raise Iteration_limit;
+    incr iters;
+    if !iters land 255 = 0 then refresh_basics tab;
+    (* Leaving row: largest primal bound violation among basic vars. *)
+    let r = ref (-1) and worst = ref feas_tol and viol_up = ref false in
+    for i = 0 to m - 1 do
+      let bi = tab.basis.(i) in
+      let xi = tab.x.(bi) in
+      if xi -. tab.ub.(bi) > !worst then begin
+        r := i;
+        worst := xi -. tab.ub.(bi);
+        viol_up := true
+      end
+      else if tab.lb.(bi) -. xi > !worst then begin
+        r := i;
+        worst := tab.lb.(bi) -. xi;
+        viol_up := false
+      end
+    done;
+    if !r < 0 then continue_ := false
+    else begin
+      let r = !r and up = !viol_up in
+      compute_multipliers tab;
+      let rbase = r * m in
+      (* Dual ratio test: minimize |d_j| / |alpha_j| over columns that can
+         move the leaving variable back toward its violated bound. *)
+      let q = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0. in
+      for j = 0 to ntot - 1 do
+        match tab.status.(j) with
+        | Basic -> ()
+        | st ->
+            let idx = tab.col_idx.(j) and vl = tab.col_val.(j) in
+            let a = ref 0. in
+            for k = 0 to Array.length idx - 1 do
+              a := !a +. (tab.binv.(rbase + idx.(k)) *. vl.(k))
+            done;
+            let alpha = !a in
+            let candidate =
+              abs_float alpha > pivot_tol
+              &&
+              (* [up]: x_Br must decrease; d x_Br / d x_j = -alpha. *)
+              match st with
+              | At_lower -> if up then alpha > 0. else alpha < 0.
+              | At_upper -> if up then alpha < 0. else alpha > 0.
+              | Free_nb -> true
+              | Basic -> false
+            in
+            if candidate then begin
+              let d = reduced_cost tab j in
+              let ratio = abs_float d /. abs_float alpha in
+              if
+                ratio < !best_ratio -. 1e-12
+                || (ratio <= !best_ratio +. 1e-12
+                   && abs_float alpha > abs_float !best_alpha)
+              then begin
+                q := j;
+                best_ratio := ratio;
+                best_alpha := alpha
+              end
+            end
+      done;
+      if !q < 0 then raise Exit (* dual unbounded: primal infeasible *);
+      let q = !q in
+      (* FTRAN the entering column. *)
+      let w = tab.w in
+      Array.fill w 0 m 0.;
+      let idx = tab.col_idx.(q) and vl = tab.col_val.(q) in
+      for k = 0 to Array.length idx - 1 do
+        let col = idx.(k) and v = vl.(k) in
+        for i = 0 to m - 1 do
+          w.(i) <- w.(i) +. (tab.binv.((i * m) + col) *. v)
+        done
+      done;
+      if abs_float w.(r) < pivot_tol then raise Numerics;
+      let bi = tab.basis.(r) in
+      let target = if up then tab.ub.(bi) else tab.lb.(bi) in
+      let dxq = (tab.x.(bi) -. target) /. w.(r) in
+      for i = 0 to m - 1 do
+        if w.(i) <> 0. then begin
+          let v = tab.basis.(i) in
+          tab.x.(v) <- tab.x.(v) -. (w.(i) *. dxq)
+        end
+      done;
+      tab.x.(bi) <- target;
+      tab.status.(bi) <- (if up then At_upper else At_lower);
+      tab.x.(q) <- tab.x.(q) +. dxq;
+      tab.status.(q) <- Basic;
+      tab.basis.(r) <- q;
+      update_binv tab w r
+    end
+  done;
+  !iters
+
+(* ------------------------------------------------------------------ *)
+(* Basis export / import                                               *)
+
+let export_basis tab =
+  let n = tab.n_struct and m = tab.m in
+  let vstatus = Array.make (n + m) At_lower in
+  Array.blit tab.status 0 vstatus 0 (n + m);
+  let vbasis = Array.make m 0 in
+  for i = 0 to m - 1 do
+    let bi = tab.basis.(i) in
+    if bi < n + m then vbasis.(i) <- bi
+    else begin
+      (* A basic artificial sits at zero and spans the same unit column
+         as the row's slack; relabel so the export is artificial-free. *)
+      vbasis.(i) <- n + i;
+      vstatus.(n + i) <- Basic
+    end
+  done;
+  { vstatus; vbasis }
+
+(* Relabel any basic artificial as the row's slack in place, so the
+   final refactorization and point extraction see the same basis a
+   warm import would rebuild. *)
+let drop_artificials tab =
+  let n = tab.n_struct and m = tab.m in
+  for i = 0 to m - 1 do
+    let bi = tab.basis.(i) in
+    if bi >= n + m then begin
+      let s = n + i in
+      tab.basis.(i) <- s;
+      tab.status.(s) <- Basic;
+      tab.status.(bi) <- At_lower;
+      tab.x.(bi) <- 0.
+    end
+  done
+
+(* Structural reduced costs against the tableau's current costs
+   (internal minimization sense); basic variables get 0. *)
+let structural_reduced_costs tab =
+  compute_multipliers tab;
+  Array.init tab.n_struct (fun v ->
+      if tab.status.(v) = Basic then 0. else reduced_cost tab v)
+
+(* ------------------------------------------------------------------ *)
+(* Cold two-phase path                                                 *)
+
+(* Build the phase-1 tableau: nonbasic structurals at a bound, slacks
+   basic where the residual fits, artificials elsewhere. *)
+let cold_tableau problem ~lb_over ~ub_over =
   let m, n, col_idx, col_val, b, lb, ub, _constrs =
     build problem ~lb_over ~ub_over
   in
-  (* Initial point: nonbasic structurals at a bound, slacks basic. *)
   let max_cols = n + (2 * m) in
   let x = Array.make max_cols 0. in
   let status = Array.make max_cols At_lower in
@@ -337,9 +621,6 @@ let solve ?lb:lb_over ?ub:ub_over problem =
   let basis = Array.make m 0 in
   let art_sign = Array.make m 1. in
   let n_art = ref 0 in
-  (* Row i gets its slack as basic variable when the residual fits the
-     slack bounds; otherwise the slack is pinned to its nearest bound and
-     an artificial column takes the row. *)
   for i = 0 to m - 1 do
     let s = n + i in
     if r.(i) >= lb.(s) -. 1e-12 && r.(i) <= ub.(s) +. 1e-12 then begin
@@ -366,7 +647,6 @@ let solve ?lb:lb_over ?ub:ub_over problem =
     end
   done;
   let ntot = n + m + !n_art in
-  let c = Array.make ntot 0. in
   let tab =
     {
       m;
@@ -375,7 +655,7 @@ let solve ?lb:lb_over ?ub:ub_over problem =
       col_idx;
       col_val;
       b;
-      c;
+      c = Array.make ntot 0.;
       lb = Array.sub lb 0 ntot;
       ub = Array.sub ub 0 ntot;
       x = Array.sub x 0 ntot;
@@ -391,59 +671,69 @@ let solve ?lb:lb_over ?ub:ub_over problem =
          a);
       y = Array.make m 0.;
       w = Array.make m 0.;
+      gamma = Array.make ntot 1.;
     }
   in
+  (tab, !n_art)
+
+let set_phase2_costs tab problem =
+  let sense, obj = Problem.objective problem in
+  let sign = match sense with Problem.Minimize -> 1. | Problem.Maximize -> -1. in
+  Array.fill tab.c 0 tab.ntot 0.;
+  List.iter (fun (v, coef) -> tab.c.(v) <- sign *. coef) (Expr.to_list obj)
+
+(* Run the two phases on a cold tableau. Leaves phase-2 costs in tab.c.
+   @raise Exit on phase-1 infeasibility. *)
+let run_two_phases tab ~n_art problem ~max_iters =
+  let n = tab.n_struct and m = tab.m and ntot = tab.ntot in
+  let iters1 =
+    if n_art = 0 then 0
+    else begin
+      for a = n + m to ntot - 1 do
+        tab.c.(a) <- 1.
+      done;
+      let it = optimize tab ~max_iters in
+      refresh_basics tab;
+      let infeas = ref 0. in
+      for a = n + m to ntot - 1 do
+        infeas := !infeas +. tab.x.(a)
+      done;
+      if !infeas > feas_tol then raise Exit;
+      (* Freeze artificials at zero for phase 2. *)
+      for a = n + m to ntot - 1 do
+        tab.c.(a) <- 0.;
+        tab.lb.(a) <- 0.;
+        tab.ub.(a) <- 0.;
+        if tab.status.(a) <> Basic then begin
+          tab.x.(a) <- 0.;
+          tab.status.(a) <- At_lower
+        end
+      done;
+      it
+    end
+  in
+  set_phase2_costs tab problem;
+  let iters2 = optimize tab ~max_iters in
+  refresh_basics tab;
+  iters1 + iters2
+
+let record_iterations iterations =
+  stats.total_iterations <- stats.total_iterations + iterations;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.Counter.add m_pivots iterations;
+    Obs.Metrics.Histogram.observe m_iterations (float_of_int iterations)
+  end
+
+let solve ?lb:lb_over ?ub:ub_over problem =
+  let tab, n_art = cold_tableau problem ~lb_over ~ub_over in
   stats.solves <- stats.solves + 1;
   if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_solves;
-  let max_iters = max 20_000 (4 * (m + n)) in
-  let run_phase () = optimize tab ~max_iters in
+  let max_iters = max 20_000 (4 * (tab.m + tab.n_struct)) in
   try
-    (* Phase 1: drive artificial variables to zero. *)
-    let iters1 =
-      if !n_art = 0 then 0
-      else begin
-        for a = n + m to ntot - 1 do
-          tab.c.(a) <- 1.
-        done;
-        let it = run_phase () in
-        refresh_basics tab;
-        let infeas = ref 0. in
-        for a = n + m to ntot - 1 do
-          infeas := !infeas +. tab.x.(a)
-        done;
-        if !infeas > feas_tol then raise Exit;
-        (* Freeze artificials at zero for phase 2. *)
-        for a = n + m to ntot - 1 do
-          tab.c.(a) <- 0.;
-          tab.lb.(a) <- 0.;
-          tab.ub.(a) <- 0.;
-          if tab.status.(a) <> Basic then begin
-            tab.x.(a) <- 0.;
-            tab.status.(a) <- At_lower
-          end
-        done;
-        it
-      end
-    in
-    (* Phase 2: the real objective (internally always minimized). *)
-    let sense, obj = Problem.objective problem in
-    let sign = match sense with Problem.Minimize -> 1. | Problem.Maximize -> -1. in
-    Array.fill tab.c 0 ntot 0.;
-    List.iter (fun (v, coef) -> tab.c.(v) <- sign *. coef) (Expr.to_list obj);
-    for a = n + m to ntot - 1 do
-      tab.c.(a) <- 0.
-    done;
-    let iters2 = run_phase () in
-    refresh_basics tab;
-    let xsol = Array.sub tab.x 0 n in
+    let iterations = run_two_phases tab ~n_art problem ~max_iters in
+    let xsol = Array.sub tab.x 0 tab.n_struct in
     let objective = Problem.eval_objective problem xsol in
-    let iterations = iters1 + iters2 in
-    stats.total_iterations <- stats.total_iterations + iterations;
-    if Obs.Metrics.enabled () then begin
-      Obs.Metrics.Counter.add m_pivots iterations;
-      Obs.Metrics.Histogram.observe m_iterations
-        (float_of_int iterations)
-    end;
+    record_iterations iterations;
     Optimal { x = xsol; objective; iterations }
   with
   | Exit -> Infeasible
@@ -451,3 +741,167 @@ let solve ?lb:lb_over ?ub:ub_over problem =
   | Iteration_limit ->
       (* Extremely defensive: treat as numerical failure. *)
       failwith "Simplex.solve: iteration limit exceeded"
+
+(* ------------------------------------------------------------------ *)
+(* Warm-capable detailed interface                                     *)
+
+type solved = {
+  sol : solution;
+  sbasis : basis;
+  reduced_costs : float array;
+      (* structural, internal minimization sense; 0 for basic vars *)
+  warm : bool;  (* true when the dual-simplex warm path answered *)
+}
+
+type basis_result = Opt of solved | Infeas | Unbound
+
+(* Extract the final answer: relabel artificials, refactorize so the
+   point is a pure function of the final basis, refresh, package. *)
+let finish_detailed tab problem ~iterations ~warm =
+  drop_artificials tab;
+  (try refactorize tab with Numerics -> () (* keep the incremental binv *));
+  refresh_basics tab;
+  let xsol = Array.sub tab.x 0 tab.n_struct in
+  let objective = Problem.eval_objective problem xsol in
+  record_iterations iterations;
+  Opt
+    {
+      sol = { x = xsol; objective; iterations };
+      sbasis = export_basis tab;
+      reduced_costs = structural_reduced_costs tab;
+      warm;
+    }
+
+let cold_detailed problem ~lb_over ~ub_over =
+  let tab, n_art = cold_tableau problem ~lb_over ~ub_over in
+  stats.solves <- stats.solves + 1;
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_solves;
+  let max_iters = max 20_000 (4 * (tab.m + tab.n_struct)) in
+  try
+    let iterations = run_two_phases tab ~n_art problem ~max_iters in
+    finish_detailed tab problem ~iterations ~warm:false
+  with
+  | Exit -> Infeas
+  | Unbounded_exn -> Unbound
+  | Iteration_limit -> failwith "Simplex.solve: iteration limit exceeded"
+
+(* Rebuild a tableau from an exported basis under (possibly tightened)
+   bounds: nonbasic variables snap to their status' bound, the basis
+   inverse is refactorized from scratch.
+   @raise Numerics when the basis does not fit the problem. *)
+let import_tableau problem ~lb_over ~ub_over (bas : basis) =
+  let m, n, col_idx, col_val, b, lb, ub, _constrs =
+    build problem ~lb_over ~ub_over
+  in
+  if Array.length bas.vstatus <> n + m || Array.length bas.vbasis <> m then
+    raise Numerics;
+  let ntot = n + m in
+  let status = Array.make ntot At_lower in
+  Array.blit bas.vstatus 0 status 0 ntot;
+  let x = Array.make ntot 0. in
+  let n_basic = ref 0 in
+  for v = 0 to ntot - 1 do
+    match status.(v) with
+    | Basic -> incr n_basic
+    | At_lower ->
+        if lb.(v) = neg_infinity then raise Numerics;
+        x.(v) <- lb.(v)
+    | At_upper ->
+        if ub.(v) = infinity then raise Numerics;
+        x.(v) <- ub.(v)
+    | Free_nb -> x.(v) <- 0.
+  done;
+  if !n_basic <> m then raise Numerics;
+  let basis = Array.make m 0 in
+  for i = 0 to m - 1 do
+    let v = bas.vbasis.(i) in
+    if v < 0 || v >= ntot || status.(v) <> Basic then raise Numerics;
+    basis.(i) <- v
+  done;
+  let tab =
+    {
+      m;
+      ntot;
+      n_struct = n;
+      col_idx = Array.sub col_idx 0 ntot;
+      col_val = Array.sub col_val 0 ntot;
+      b;
+      c = Array.make ntot 0.;
+      lb = Array.sub lb 0 ntot;
+      ub = Array.sub ub 0 ntot;
+      x;
+      status;
+      basis;
+      binv = Array.make (max 1 (m * m)) 0.;
+      y = Array.make m 0.;
+      w = Array.make m 0.;
+      gamma = Array.make ntot 1.;
+    }
+  in
+  refactorize tab;
+  refresh_basics tab;
+  tab
+
+let dual_feasible tab =
+  compute_multipliers tab;
+  let ok = ref true in
+  (* 1e-6: mildly looser than dual_tol so a parent basis within pricing
+     tolerance is not bounced to a cold solve. *)
+  for q = 0 to tab.ntot - 1 do
+    if !ok then
+      match tab.status.(q) with
+      | Basic -> ()
+      | At_lower -> if reduced_cost tab q < -1e-6 then ok := false
+      | At_upper -> if reduced_cost tab q > 1e-6 then ok := false
+      | Free_nb -> if abs_float (reduced_cost tab q) > 1e-6 then ok := false
+  done;
+  !ok
+
+let primal_feasible tab =
+  let ok = ref true in
+  for v = 0 to tab.ntot - 1 do
+    if tab.x.(v) < tab.lb.(v) -. feas_tol || tab.x.(v) > tab.ub.(v) +. feas_tol
+    then ok := false
+  done;
+  !ok
+
+let warm_detailed problem ~lb_over ~ub_over bas =
+  let tab = import_tableau problem ~lb_over ~ub_over bas in
+  stats.solves <- stats.solves + 1;
+  if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_solves;
+  set_phase2_costs tab problem;
+  let max_iters = max 20_000 (4 * (tab.m + tab.n_struct)) in
+  if not (dual_feasible tab) then
+    if primal_feasible tab then begin
+      (* Primal-feasible import: plain phase 2 from here is still warm. *)
+      let iterations = optimize tab ~max_iters in
+      refresh_basics tab;
+      finish_detailed tab problem ~iterations ~warm:true
+    end
+    else raise Numerics
+  else
+    try
+      let it_dual = dual_optimize tab ~max_iters in
+      (* Dual simplex stops primal-feasible; a short primal cleanup
+         absorbs any reduced-cost drift accumulated on the way. *)
+      let it_primal = optimize tab ~max_iters in
+      refresh_basics tab;
+      if not (primal_feasible tab) then raise Numerics;
+      finish_detailed tab problem ~iterations:(it_dual + it_primal) ~warm:true
+    with
+    | Exit -> Infeas (* dual unbounded: the child LP is infeasible *)
+    | Unbounded_exn -> Unbound
+
+let solve_detailed ?lb:lb_over ?ub:ub_over ?warm problem =
+  match warm with
+  | None -> cold_detailed problem ~lb_over ~ub_over
+  | Some bas -> (
+      match warm_detailed problem ~lb_over ~ub_over bas with
+      | r ->
+          stats.warm_solves <- stats.warm_solves + 1;
+          if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_warm;
+          r
+      | exception (Numerics | Iteration_limit) ->
+          stats.warm_failures <- stats.warm_failures + 1;
+          if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_warm_fail;
+          cold_detailed problem ~lb_over ~ub_over)

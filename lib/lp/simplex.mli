@@ -3,9 +3,13 @@
     Integrality of [Integer] variables is ignored (LP relaxation); use
     {!Branch_bound} for mixed-integer problems. The implementation is a
     two-phase bounded-variable revised simplex maintaining a dense basis
-    inverse with rank-1 updates, Dantzig pricing with a Bland's-rule
+    inverse with rank-1 updates, Devex pricing with a Bland's-rule
     fallback against cycling, and periodic recomputation of the basic
-    values for numerical hygiene. *)
+    values for numerical hygiene. {!solve_detailed} additionally exports
+    the optimal basis and accepts one back as a warm start: the basis is
+    refactorized under the caller's (typically one-bound-flip) bounds and
+    repaired by a dual-simplex phase, which is how {!Branch_bound} turns
+    child-node re-solves into a handful of pivots. *)
 
 type solution = {
   x : float array;  (** One value per problem variable. *)
@@ -18,7 +22,12 @@ type result =
   | Infeasible
   | Unbounded
 
-type stats = { mutable solves : int; mutable total_iterations : int }
+type stats = {
+  mutable solves : int;
+  mutable total_iterations : int;
+  mutable warm_solves : int;  (** Solves answered by the dual warm path. *)
+  mutable warm_failures : int;  (** Warm starts that fell back cold. *)
+}
 
 val stats : stats
 (** Global counters (for benchmarks/diagnostics). *)
@@ -29,3 +38,32 @@ val solve : ?lb:float array -> ?ub:float array -> Problem.t -> result
     {!Branch_bound} explores its tree without mutating the problem.
     @raise Invalid_argument on override arrays of the wrong length or with
     [lb > ub] entries. *)
+
+type basis
+(** An optimal basis exported by {!solve_detailed}: variable statuses plus
+    the row-to-basic-variable map, artificial-free. Opaque; only
+    meaningful for the problem (shape) it was exported from. *)
+
+type solved = {
+  sol : solution;
+  sbasis : basis;  (** Final basis, ready to warm-start a child solve. *)
+  reduced_costs : float array;
+      (** Structural reduced costs in the internal {e minimization} sense
+          (negated for [Maximize] problems); 0 for basic variables. Feed
+          to reduced-cost bound tightening. *)
+  warm : bool;  (** The dual-simplex warm path produced this answer. *)
+}
+
+type basis_result = Opt of solved | Infeas | Unbound
+
+val solve_detailed :
+  ?lb:float array -> ?ub:float array -> ?warm:basis -> Problem.t -> basis_result
+(** Like {!solve} but returns the final basis and reduced costs, and
+    accepts a parent basis via [warm]. A warm solve refactorizes the
+    basis under the new bounds and runs dual simplex (the parent optimum
+    is dual-feasible after a bound flip, so primal feasibility is
+    restored in a few pivots); any numerical trouble silently falls back
+    to the cold two-phase path, so the answer is never worse than
+    {!solve}'s. The final point is extracted from a fresh factorization
+    of the final basis, so warm and cold solves that end on the same
+    basis agree bitwise. *)

@@ -275,6 +275,37 @@ let parallel_for t ?chunk n f =
          ranges)
   end
 
+(* Dynamic fan-out: run [f] on every item; the items it returns are
+   resubmitted as fresh tasks until the frontier drains. A child's
+   pending-count increment happens before its parent's decrement, so the
+   count can only reach zero when every transitively spawned item has
+   finished. *)
+let parallel_grow t f roots =
+  let n_roots = Array.length roots in
+  if n_roots > 0 then begin
+    let pending = Atomic.make n_roots in
+    let failure = Atomic.make None in
+    let rec launch item =
+      submit_task t (fun () ->
+          (match f item with
+          | children ->
+              let k = Array.length children in
+              if k > 0 then begin
+                ignore (Atomic.fetch_and_add pending k);
+                Array.iter launch children
+              end
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          Atomic.decr pending)
+    in
+    Array.iter launch roots;
+    wait_until t (fun () -> Atomic.get pending = 0);
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
 let race t entrants =
   if entrants = [] then invalid_arg "Pool.race: no entrants";
   let winner = Atomic.make None in

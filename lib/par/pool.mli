@@ -62,6 +62,18 @@ val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
     contiguous chunks (default: a balanced split over ~4 tasks per
     worker). Same completion and error semantics as {!parallel_map}. *)
 
+val parallel_grow : t -> ('a -> 'a array) -> 'a array -> unit
+(** Dynamic fan-out: run [f] on every root item; the items [f] returns
+    are resubmitted as fresh tasks (stolen like any other work), until
+    the whole transitively spawned frontier has drained. Built for
+    node-budgeted search subtrees that split themselves when their
+    budget runs out. Items communicate results through the caller's own
+    shared state. If any task raises, one captured exception is
+    re-raised after the drain — with dynamically spawned work there is
+    no stable index order, so unlike {!parallel_map} the choice is not
+    deterministic; callers needing determinism must capture their own
+    errors. *)
+
 val race : t -> ((cancelled:(unit -> bool) -> 'a) list) -> 'a
 (** Run all entrants concurrently and return the value of whichever
     completes first (inherently timing-dependent — do not use where

@@ -35,6 +35,10 @@ let h_batch =
   Obs.Metrics.histogram ~help:"Wall-clock latency of one batch run"
     "svc_batch_seconds"
 
+(* Returns the assignment, its period and the best proven lower bound
+   on the optimal period (the combinatorial {!Cellsched.Bounds} root
+   for the portfolio, the search's own bound for [bb]) — the daemon
+   quotes the bound and the implied optimality gap on partial replies. *)
 let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
   match r.Request.strategy with
   | Request.Portfolio { seed; restarts } ->
@@ -42,7 +46,9 @@ let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
         Cellsched.Portfolio.solve ~should_stop ~seed ~restarts r.platform
           r.graph
       in
-      (M.to_array res.Cellsched.Portfolio.best, res.Cellsched.Portfolio.period)
+      ( M.to_array res.Cellsched.Portfolio.best,
+        res.Cellsched.Portfolio.period,
+        res.Cellsched.Portfolio.lower_bound )
   | Request.Bb { rel_gap; max_nodes } ->
       (* A node budget, never a wall-clock limit: early stopping must be
          deterministic for the batch determinism contract to hold. The
@@ -60,7 +66,8 @@ let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
         Cellsched.Mapping_search.solve ~options ~should_stop r.platform r.graph
       in
       ( M.to_array res.Cellsched.Mapping_search.mapping,
-        res.Cellsched.Mapping_search.period )
+        res.Cellsched.Mapping_search.period,
+        res.Cellsched.Mapping_search.lower_bound )
 
 let summary (r : Request.t) assignment period =
   let m = M.make r.Request.platform r.Request.graph assignment in
@@ -196,7 +203,7 @@ let run ?pool ~cache requests =
            (assignment, period))
   in
   let solve_one i =
-    let assignment, period = solve_request requests.(i) in
+    let assignment, period, _bound = solve_request requests.(i) in
     (i, assignment, period)
   in
   (* Distinct misses fan out over the pool; each inner solve runs

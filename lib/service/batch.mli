@@ -46,13 +46,16 @@ type response = {
 }
 
 val solve_request :
-  ?should_stop:(unit -> bool) -> Request.t -> int array * float
-(** One uncached solver run: the assignment (request task order) and
-    canonical period. Exposed for differential testing and as the
-    daemon's cancellable solve entry point: [should_stop] (default:
-    never) is threaded into the underlying solver, which then returns
-    its best incumbent so far — always a feasible mapping — instead of
-    running to completion. *)
+  ?should_stop:(unit -> bool) -> Request.t -> int array * float * float
+(** One uncached solver run: the assignment (request task order), the
+    canonical period, and the best proven lower bound on the optimal
+    period (the search's bound for [bb], the combinatorial
+    {!Cellsched.Bounds.root_bound} for the portfolio) — the daemon
+    quotes the bound and its implied gap on partial replies. Exposed
+    for differential testing and as the daemon's cancellable solve
+    entry point: [should_stop] (default: never) is threaded into the
+    underlying solver, which then returns its best incumbent so far —
+    always a feasible mapping — instead of running to completion. *)
 
 val try_cache : cache:Cache.t -> Request.t -> response option
 (** The pure hit path: fingerprint, transport, validate. [Some] is a

@@ -389,6 +389,152 @@ let random_mip_agrees_with_enumeration =
             sol.Lp.Simplex.objective
       | None, Some best -> QCheck.Test.fail_reportf "bb none, grid %g" best)
 
+(* Dual-simplex warm starts: a child solve from the parent basis must
+   return bitwise the same objective as a cold two-phase solve, and a
+   primal-feasible point, across random chains of child bound flips —
+   the exact access pattern of {!Lp.Branch_bound}. Chains include
+   degenerate children (a variable fixed, [lb = ub]) and infeasible
+   children (both paths must agree on [Infeas]). 150 cases x up to 5
+   flips each gives several hundred warm solves per run. *)
+let random_warm_equals_cold =
+  QCheck.Test.make ~count:150 ~name:"dual warm start bitwise equals cold"
+    QCheck.(triple (int_bound 100_000) (int_range 2 5) (int_range 1 5))
+    (fun (seed, n, m) ->
+      let rng = Support.Rng.create (seed + (n * 7919) + (m * 104729)) in
+      let lb = Array.init n (fun _ -> Support.Rng.float_in rng (-5.) 0.) in
+      let ub = Array.init n (fun _ -> Support.Rng.float_in rng 0.5 6.) in
+      let p = Lp.Problem.create () in
+      let vars =
+        Array.init n (fun v ->
+            Lp.Problem.add_var p ~lb:lb.(v) ~ub:ub.(v) (Printf.sprintf "x%d" v))
+      in
+      for _ = 1 to m do
+        let coeffs = Array.init n (fun _ -> Support.Rng.float_in rng (-3.) 3.) in
+        let rhs = Support.Rng.float_in rng (-4.) 8. in
+        Lp.Problem.add_constr p
+          (Lp.Expr.of_list (List.init n (fun v -> (vars.(v), coeffs.(v)))))
+          Lp.Problem.Le rhs
+      done;
+      Lp.Problem.set_objective p
+        (if Support.Rng.bool rng then Lp.Problem.Maximize
+         else Lp.Problem.Minimize)
+        (Lp.Expr.of_list
+           (List.init n (fun v -> (vars.(v), Support.Rng.float_in rng (-2.) 2.))));
+      match Lp.Simplex.solve_detailed p with
+      | Lp.Simplex.Infeas | Lp.Simplex.Unbound -> true (* no root, no children *)
+      | Lp.Simplex.Opt root ->
+          let basis = ref root.Lp.Simplex.sbasis in
+          (try
+             for _ = 1 to 5 do
+               let v = Support.Rng.int_in rng 0 (n - 1) in
+               (match Support.Rng.int_in rng 0 3 with
+               | 0 -> ub.(v) <- Support.Rng.float_in rng lb.(v) ub.(v)
+               | 1 -> lb.(v) <- Support.Rng.float_in rng lb.(v) ub.(v)
+               | 2 ->
+                   (* Degenerate child: the variable is fixed. *)
+                   let x = Support.Rng.float_in rng lb.(v) ub.(v) in
+                   lb.(v) <- x;
+                   ub.(v) <- x
+               | _ ->
+                   (* Aggressive fixing at the box corner; with Ge-like
+                      rows in the mix this is how children go infeasible. *)
+                   ub.(v) <- lb.(v));
+               let warm = Lp.Simplex.solve_detailed ~lb ~ub ~warm:!basis p in
+               let cold = Lp.Simplex.solve_detailed ~lb ~ub p in
+               match (warm, cold) with
+               | Lp.Simplex.Opt w, Lp.Simplex.Opt c ->
+                   let wo = w.Lp.Simplex.sol.Lp.Simplex.objective
+                   and co = c.Lp.Simplex.sol.Lp.Simplex.objective in
+                   (* Same final basis: the point is extracted from the
+                      same factorization, so the answers must be bitwise
+                      identical. Different (alternative-optimal) bases:
+                      the objectives still agree to round-off. *)
+                   if w.Lp.Simplex.sbasis = c.Lp.Simplex.sbasis then begin
+                     if Int64.bits_of_float wo <> Int64.bits_of_float co then
+                       QCheck.Test.fail_reportf
+                         "same basis, warm objective %.17g /= cold %.17g" wo co
+                   end
+                   else if
+                     abs_float (wo -. co)
+                     > 1e-9 *. Float.max 1. (abs_float co)
+                   then
+                     QCheck.Test.fail_reportf
+                       "warm objective %.17g far from cold %.17g" wo co;
+                   (* Basis feasibility of the warm answer: inside the
+                      child box (and hence the original problem box). *)
+                   Array.iteri
+                     (fun i x ->
+                       if x < lb.(i) -. 1e-7 || x > ub.(i) +. 1e-7 then
+                         QCheck.Test.fail_reportf
+                           "warm x%d = %.17g outside [%g, %g]" i x lb.(i)
+                           ub.(i))
+                     w.Lp.Simplex.sol.Lp.Simplex.x;
+                   (match
+                      Lp.Problem.check_feasible p w.Lp.Simplex.sol.Lp.Simplex.x
+                    with
+                   | Ok () -> ()
+                   | Error msg ->
+                       QCheck.Test.fail_reportf "warm point infeasible: %s" msg);
+                   basis := w.Lp.Simplex.sbasis
+               | Lp.Simplex.Infeas, Lp.Simplex.Infeas -> raise Exit
+               | Lp.Simplex.Unbound, Lp.Simplex.Unbound -> raise Exit
+               | _ ->
+                   QCheck.Test.fail_reportf
+                     "warm/cold status mismatch after a bound flip"
+             done
+           with Exit -> ());
+          true)
+
+let solve_detailed_opt ?lb ?ub ?warm p =
+  match Lp.Simplex.solve_detailed ?lb ?ub ?warm p with
+  | Lp.Simplex.Opt s -> s
+  | Lp.Simplex.Infeas -> Alcotest.fail "unexpected Infeas"
+  | Lp.Simplex.Unbound -> Alcotest.fail "unexpected Unbound"
+
+let test_warm_degenerate_child () =
+  (* Fix a variable exactly at its fractional parent-optimal value: the
+     parent basis is still optimal, the dual repair does zero pivots, and
+     the answer must be bitwise the cold one. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lb:0. ~ub:4. "x" in
+  let y = Lp.Problem.add_var p ~lb:0. ~ub:4. "y" in
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 2.); (y, 1.) ]) Lp.Problem.Le 5.;
+  Lp.Problem.add_constr p (Lp.Expr.of_list [ (x, 1.); (y, 3.) ]) Lp.Problem.Le 6.;
+  Lp.Problem.set_objective p Lp.Problem.Maximize
+    (Lp.Expr.of_list [ (x, 3.); (y, 2.) ]);
+  let root = solve_detailed_opt p in
+  let xv = root.Lp.Simplex.sol.Lp.Simplex.x.(0) in
+  let lb = [| xv; 0. |] and ub = [| xv; 4. |] in
+  let w = solve_detailed_opt ~lb ~ub ~warm:root.Lp.Simplex.sbasis p in
+  let c = solve_detailed_opt ~lb ~ub p in
+  Alcotest.(check bool)
+    "degenerate child bitwise" true
+    (Int64.bits_of_float w.Lp.Simplex.sol.Lp.Simplex.objective
+    = Int64.bits_of_float c.Lp.Simplex.sol.Lp.Simplex.objective)
+
+let test_warm_infeasible_child () =
+  (* The child box contradicts a covering row: the dual phase must prove
+     infeasibility exactly like the cold two-phase solve. *)
+  let p = Lp.Problem.create () in
+  let x = Lp.Problem.add_var p ~lb:0. ~ub:1. "x" in
+  let y = Lp.Problem.add_var p ~lb:0. ~ub:1. "y" in
+  (* x + y >= 1.5, written as -x - y <= -1.5. *)
+  Lp.Problem.add_constr p
+    (Lp.Expr.of_list [ (x, -1.); (y, -1.) ])
+    Lp.Problem.Le (-1.5);
+  Lp.Problem.set_objective p Lp.Problem.Minimize
+    (Lp.Expr.of_list [ (x, 1.); (y, 2.) ]);
+  let root = solve_detailed_opt p in
+  let lb = [| 0.; 0. |] and ub = [| 0.25; 1. |] in
+  (match Lp.Simplex.solve_detailed ~lb ~ub ~warm:root.Lp.Simplex.sbasis p with
+  | Lp.Simplex.Infeas -> ()
+  | Lp.Simplex.Opt _ | Lp.Simplex.Unbound ->
+      Alcotest.fail "warm child not proven infeasible");
+  match Lp.Simplex.solve_detailed ~lb ~ub p with
+  | Lp.Simplex.Infeas -> ()
+  | Lp.Simplex.Opt _ | Lp.Simplex.Unbound ->
+      Alcotest.fail "cold child not proven infeasible"
+
 let test_warm_start_and_gap () =
   (* Seeding with the optimum and allowing a generous gap must terminate
      immediately with that incumbent. *)
@@ -518,6 +664,11 @@ let () =
           Alcotest.test_case "bound flip" `Quick test_boxed_flip;
           Alcotest.test_case "negative bounds" `Quick test_negative_bounds;
           qt random_lp_agrees_with_brute_force;
+          Alcotest.test_case "warm degenerate child" `Quick
+            test_warm_degenerate_child;
+          Alcotest.test_case "warm infeasible child" `Quick
+            test_warm_infeasible_child;
+          qt random_warm_equals_cold;
         ] );
       ( "branch-bound",
         [

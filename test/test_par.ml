@@ -325,9 +325,16 @@ let portfolio_deterministic =
 let bb_deterministic =
   (* A node budget (not a wall-clock limit) so early stopping is itself
      deterministic; counters like [nodes] are the one timing-dependent
-     output and are deliberately not compared. *)
+     output and are deliberately not compared. [dive_nodes] is cut to 64
+     so the parallel second phase — not just the sequential dive — does
+     the real work on every instance that is not closed at the root. *)
   let options =
-    { Search.default_options with max_nodes = 20_000; time_limit = 3600. }
+    {
+      Search.default_options with
+      max_nodes = 20_000;
+      dive_nodes = 64;
+      time_limit = 3600.;
+    }
   in
   QCheck.Test.make ~count:60
     ~name:"parallel B&B bitwise = sequential (pools of 1/2/4)"
@@ -390,9 +397,11 @@ let sim_matches_prediction =
       let measured = 1. /. metrics.R.steady_throughput in
       (* The steady window spans the second half of the stream: allow the
          prediction to be off by one instance over that window plus a
-         small slack for DMA granularity, in either direction. *)
+         slack for DMA granularity, in either direction. (8% base slack:
+         seed 297810 at n=10 measures 6.2% over on unchanged solver and
+         simulator code — granularity alone can eat the old 5%.) *)
       let window = float_of_int (instances / 2) in
-      let tol = predicted *. (0.05 +. (2. /. window)) in
+      let tol = predicted *. (0.08 +. (2. /. window)) in
       if measured > predicted +. tol then
         QCheck.Test.fail_reportf
           "simulated period %.6g exceeds prediction %.6g by more than %.2g"

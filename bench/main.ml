@@ -3,7 +3,7 @@
    micro-benchmark suite.
 
    Usage: main.exe [--quick] [--parallel[=N]]
-          [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|par|bb|service|daemon|all]...
+          [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|all]...
    With no experiment argument, everything runs. --quick shortens the
    simulated streams by 10x for fast smoke runs. --parallel fans the
    independent sweep points (Fig. 7 SPE counts, Fig. 8 CCR x graph) out
@@ -13,7 +13,7 @@
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--parallel[=N]] \
-     [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|par|bb|service|daemon|all]...";
+     [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|all]...";
   exit 2
 
 let () =
@@ -64,6 +64,7 @@ let () =
     | "faults" -> Experiments.faults ()
     | "micro" -> Experiments.micro ()
     | "search" -> Experiments.search ()
+    | "obs" -> Experiments.obs ()
     | "par" -> Experiments.search_par ()
     | "bb" -> Experiments.search_bb ()
     | "service" -> Experiments.service ()

@@ -17,8 +17,10 @@
    map, simulate and faults accept --metrics FILE to dump the metrics
    registry (JSON, or Prometheus text for .prom files); simulate also
    exports Chrome trace JSON (--trace-json) and the throughput ramp-up
-   curve (--rampup-csv). File-writing options refuse to overwrite
-   existing files unless --force is given. *)
+   curve (--rampup-csv). map --trace-json records the solve as
+   request-scoped spans (rendered by obs spans), and serve --trace-dir
+   writes one such file per completed request. File-writing options
+   refuse to overwrite existing files unless --force is given. *)
 
 open Cmdliner
 
@@ -92,8 +94,8 @@ let load_graph path = Streaming.Serialize.of_file path
    actually certified (vs a limit stopping the search early). *)
 type bound_report = { lower_bound : float; bound_gap : float; proven : bool }
 
-let compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
-    platform g =
+let compute_mapping_bounded ?(span = Obs.Span.null) strategy ~gap ~time_limit
+    ?should_stop ?pool platform g =
   match strategy with
   | `Ppe_only -> (Cellsched.Heuristics.ppe_only platform g, None)
   | `Greedy_mem -> (Cellsched.Heuristics.greedy_mem platform g, None)
@@ -101,7 +103,7 @@ let compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
   | `Density -> (Cellsched.Heuristics.density_pack platform g, None)
   | `Lp_round -> (Cellsched.Heuristics.lp_rounding platform g, None)
   | `Portfolio ->
-      let r = Cellsched.Portfolio.solve ?pool ?should_stop platform g in
+      let r = Cellsched.Portfolio.solve ~span ?pool ?should_stop platform g in
       let p = r.Cellsched.Portfolio.period in
       ( r.Cellsched.Portfolio.best,
         Some
@@ -122,7 +124,8 @@ let compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
         }
       in
       let r =
-        Cellsched.Mapping_search.solve ~options ?should_stop ?pool platform g
+        Cellsched.Mapping_search.solve ~span ~options ?should_stop ?pool
+          platform g
       in
       ( r.Cellsched.Mapping_search.mapping,
         Some
@@ -139,7 +142,9 @@ let compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
           time_limit;
         }
       in
-      let r = Cellsched.Milp_solver.solve ~options ?should_stop ?pool platform g in
+      let r =
+        Cellsched.Milp_solver.solve ~span ~options ?should_stop ?pool platform g
+      in
       ( r.Cellsched.Milp_solver.mapping,
         Some
           {
@@ -284,7 +289,8 @@ let info_cmd =
 (* --- map ------------------------------------------------------------------ *)
 
 let map_cmd =
-  let run path n_spe strategy gap time_limit timeout parallel metrics force =
+  let run path n_spe strategy gap time_limit timeout parallel trace_json metrics
+      force =
     enable_metrics metrics;
     let g = load_graph path in
     let platform = platform_of n_spe in
@@ -310,10 +316,21 @@ let map_cmd =
               end
               else false)
     in
-    let mapping, bound =
+    (* One collector per run; the root "map" span covers the whole solve
+       and the solver's flight-recorder spans nest under it. *)
+    let trace =
+      Option.map (fun file -> (file, Obs.Span.collector ())) trace_json
+    in
+    let solve span =
       with_optional_pool parallel (fun pool ->
-          compute_mapping_bounded strategy ~gap ~time_limit ?should_stop ?pool
-            platform g)
+          compute_mapping_bounded ~span strategy ~gap ~time_limit ?should_stop
+            ?pool platform g)
+    in
+    let mapping, bound =
+      match trace with
+      | None -> solve Obs.Span.null
+      | Some (_, col) ->
+          Obs.Span.with_span (Obs.Span.root col ~trace:"map") "map" solve
     in
     if Atomic.get fired then
       Format.printf
@@ -321,6 +338,10 @@ let map_cmd =
         (Option.get timeout);
     report_mapping platform g mapping;
     report_bound bound;
+    (match trace with
+    | None -> ()
+    | Some (file, col) ->
+        write_file ~force file (Obs.Span.to_chrome_json (Obs.Span.spans col)));
     dump_metrics ~force metrics;
     0
   in
@@ -333,11 +354,22 @@ let map_cmd =
     in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"MS" ~doc)
   in
+  let trace_json =
+    let doc =
+      "Record the solve as request-scoped spans and write them as Chrome \
+       trace_event JSON to $(docv) (open in chrome://tracing or Perfetto, \
+       or render with $(b,cellsched obs spans)). The portfolio, bb and milp \
+       strategies contribute flight-recorder spans (entrants, dives, \
+       subtrees, node counts); the greedy heuristics record only the root."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Compute a mapping of a graph onto the Cell")
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
-      $ time_limit_arg $ timeout $ parallel_arg $ metrics_arg $ force_arg)
+      $ time_limit_arg $ timeout $ parallel_arg $ trace_json $ metrics_arg
+      $ force_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -761,6 +793,128 @@ let faults_cmd =
 
 (* --- obs -------------------------------------------------------------------- *)
 
+(* Rebuild span records from a Chrome trace file (map --trace-json or a
+   daemon --trace-dir file): phase-X events of category "span" carry
+   path/trace in args, ts/dur in microseconds. Ids are not serialized —
+   the tree renderer works from paths alone, so dummies suffice. *)
+let spans_of_chrome_json json =
+  let module J = Support.Json in
+  let attr_of_json = function
+    | J.Bool b -> Obs.Span.Bool b
+    | J.Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Obs.Span.Int (int_of_float f)
+        else Obs.Span.Float f
+    | J.Str s -> Obs.Span.String s
+    | v -> Obs.Span.String (J.to_string v)
+  in
+  let span_of_event ev =
+    match
+      ( J.member "ph" ev,
+        J.member "cat" ev,
+        Option.bind (J.member "args" ev) (J.member "path"),
+        Option.bind (J.member "ts" ev) J.to_float )
+    with
+    | Some (J.Str "X"), Some (J.Str "span"), Some (J.Str path), Some ts ->
+        let name = Option.bind (J.member "name" ev) J.to_str in
+        let trace =
+          Option.bind (Option.bind (J.member "args" ev) (J.member "trace"))
+            J.to_str
+        in
+        let dur =
+          Option.value ~default:0.
+            (Option.bind (J.member "dur" ev) J.to_float)
+        in
+        let attrs =
+          match J.member "args" ev with
+          | Some (J.Obj fields) ->
+              List.filter_map
+                (fun (k, v) ->
+                  if k = "path" || k = "trace" then None
+                  else Some (k, attr_of_json v))
+                fields
+          | _ -> []
+        in
+        Some
+          {
+            Obs.Span.trace = Option.value ~default:"" trace;
+            id = 0L;
+            parent = 0L;
+            name = Option.value ~default:(Filename.basename path) name;
+            path;
+            t_start = ts /. 1e6;
+            t_stop = (ts +. dur) /. 1e6;
+            attrs;
+          }
+    | _ -> None
+  in
+  match Option.bind (J.member "traceEvents" json) J.to_list with
+  | None -> Error "no traceEvents array (not a Chrome trace file?)"
+  | Some events ->
+      let spans = List.filter_map span_of_event events in
+      Ok
+        (List.sort
+           (fun (a : Obs.Span.span) b ->
+             let c = String.compare a.trace b.trace in
+             if c <> 0 then c
+             else
+               let c = String.compare a.path b.path in
+               if c <> 0 then c else Float.compare a.t_start b.t_start)
+           spans)
+
+let obs_spans_cmd =
+  let run file =
+    let contents =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error m ->
+        Printf.eprintf "cellsched: %s\n" m;
+        exit 2
+    in
+    match Support.Json.parse contents with
+    | Error m ->
+        Printf.eprintf "cellsched: %s: %s\n" file m;
+        2
+    | Ok json -> (
+        match spans_of_chrome_json json with
+        | Error m ->
+            Printf.eprintf "cellsched: %s: %s\n" file m;
+            2
+        | Ok [] ->
+            Printf.eprintf "cellsched: %s: no span events\n" file;
+            2
+        | Ok spans ->
+            (* One indented tree per trace id in the file. *)
+            let rec by_trace = function
+              | [] -> ()
+              | (s : Obs.Span.span) :: _ as spans ->
+                  let mine, rest =
+                    List.partition
+                      (fun (x : Obs.Span.span) -> x.Obs.Span.trace = s.trace)
+                      spans
+                  in
+                  Printf.printf "trace %s (%d spans)\n" s.trace
+                    (List.length mine);
+                  print_string (Obs.Span.render_tree mine);
+                  by_trace rest
+            in
+            by_trace spans;
+            0)
+  in
+  let file =
+    let doc =
+      "Chrome trace_event JSON file, as written by $(b,map --trace-json) or \
+       a daemon $(b,--trace-dir)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Render a recorded span trace as a human-readable tree (one line \
+          per span, two-space indent per depth, durations and attributes \
+          inline)")
+    Term.(const run $ file)
+
 let obs_cmd =
   let run path n_spe strategy gap time_limit instances format =
     (* One instrumented map + simulate pass; the registry goes to stdout. *)
@@ -787,14 +941,18 @@ let obs_cmd =
       & opt (enum [ ("json", `Json); ("prometheus", `Prom) ]) `Json
       & info [ "format" ] ~doc:"Registry output format: json, prometheus.")
   in
-  Cmd.v
-    (Cmd.info "obs"
-       ~doc:
-         "Map and simulate a graph with every metric enabled, then dump the \
-          whole registry (solver, search, simulator families) to stdout")
+  let registry =
     Term.(
       const run $ graph_arg $ n_spe_arg $ strategy_arg $ gap_arg
       $ time_limit_arg $ instances $ format)
+  in
+  Cmd.group ~default:registry
+    (Cmd.info "obs"
+       ~doc:
+         "Map and simulate a graph with every metric enabled, then dump the \
+          whole registry (solver, search, simulator families) to stdout; \
+          the $(b,spans) sub-command renders recorded span traces")
+    [ obs_spans_cmd ]
 
 (* --- batch ------------------------------------------------------------------ *)
 
@@ -891,7 +1049,7 @@ let batch_cmd =
 
 let serve_cmd =
   let run n_spe bound parallel socket cache_path cache_entries cache_bytes
-      flush_period metrics_file =
+      flush_period metrics_file trace_dir =
     if bound <= 0 then begin
       Printf.eprintf "cellsched: --bound must be positive\n";
       exit 2
@@ -916,6 +1074,7 @@ let serve_cmd =
         cache_bytes;
         flush_period;
         metrics_file;
+        trace_dir;
       }
     in
     let t =
@@ -985,15 +1144,25 @@ let serve_cmd =
       & opt (some string) None
       & info [ "metrics-file" ] ~docv:"FILE" ~doc)
   in
+  let trace_dir =
+    let doc =
+      "Write each completed request's span tree to $(docv)/<id>.json as \
+       Chrome trace_event JSON (the directory is created if missing; later \
+       requests reusing an id overwrite the file). The TRACE protocol verb \
+       serves the same spans inline whether or not this option is set."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling daemon: a long-lived server answering the batch \
           request grammar line by line, with deadlines, priorities, \
-          admission control, a warm persistent cache and live metrics")
+          admission control, a warm persistent cache, live metrics and \
+          per-request tracing")
     Term.(
       const run $ n_spe_arg $ bound $ parallel_arg $ socket $ cache
-      $ cache_entries $ cache_bytes $ flush_period $ metrics_file)
+      $ cache_entries $ cache_bytes $ flush_period $ metrics_file $ trace_dir)
 
 (* --- cache ------------------------------------------------------------------ *)
 

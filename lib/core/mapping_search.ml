@@ -404,6 +404,7 @@ type ctx = {
   c_incumbents : int Atomic.t;
   c_subtrees : int Atomic.t;
   c_limit : bool Atomic.t;
+  sctx : Obs.Span.ctx;  (* parent span of this phase's subtree spans *)
 }
 
 (* One budgeted subtree task: fresh state, replay the prefix, depth-first
@@ -416,6 +417,14 @@ type ctx = {
 let run_task ~share ctx platform g prefix =
   if Atomic.get ctx.c_limit then [||]
   else begin
+    (* Flight-recorder span: one per subtree task, named by the prefix
+       hash (unique within a phase — each open prefix is handed back at
+       most once), annotated with this task's local counters. The task
+       *set* of a parallel phase is timing-dependent, so these spans
+       are excluded from the cross-pool determinism property. *)
+    let t_start =
+      if Obs.Span.active ctx.sctx then Obs.Span.now () else 0.
+    in
     let st = make_state ~share platform g in
     let spes = Array.of_list (P.spes platform) in
     let nk = G.n_tasks g in
@@ -479,6 +488,18 @@ let run_task ~share ctx platform g prefix =
     ignore (Atomic.fetch_and_add ctx.c_pruned !pruned);
     ignore (Atomic.fetch_and_add ctx.c_incumbents !incumbents);
     ignore (Atomic.fetch_and_add ctx.c_subtrees 1);
+    if Obs.Span.active ctx.sctx then
+      Obs.Span.record ctx.sctx ~t_start
+        ~attrs:
+          [
+            ("nodes", Obs.Span.Int !nodes);
+            ("pruned", Obs.Span.Int !pruned);
+            ("incumbents", Obs.Span.Int !incumbents);
+            ("spilled", Obs.Span.Int (List.length !spill));
+          ]
+        ("subtree:"
+        ^ Support.Fnv.to_hex
+            (Array.fold_left Support.Fnv.add_int Support.Fnv.empty prefix));
     Array.of_list !spill
   end
 
@@ -492,8 +513,9 @@ let sequential_grow f roots =
     Array.iter (fun c -> Stack.push c stack) (f (Stack.pop stack))
   done
 
-let solve ?(options = default_options) ?(should_stop = fun () -> false)
-    ?incumbent ?(extra_lower_bound = 0.) ?pool platform g =
+let solve ?(span = Obs.Span.null) ?(options = default_options)
+    ?(should_stop = fun () -> false) ?incumbent ?(extra_lower_bound = 0.) ?pool
+    platform g =
   let share = options.share_colocated_buffers in
   let st = make_state ~share platform g in
   let eval_options = Eval.make_options ~share_colocated_buffers:share () in
@@ -511,7 +533,7 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
            is between closing at the root and millions of open nodes.
            The portfolio is bitwise deterministic at any pool size, so
            the determinism contract is unaffected. *)
-        (Portfolio.solve ?pool ~should_stop
+        (Portfolio.solve ~span ?pool ~should_stop
            ~share_colocated_buffers:share platform g)
           .Portfolio.best
   in
@@ -541,6 +563,7 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
       c_incumbents = Atomic.make 0;
       c_subtrees = Atomic.make 0;
       c_limit = Atomic.make false;
+      sctx = Obs.Span.null;
     }
   in
   (* The combinatorial root bound can prove the (polished) incumbent
@@ -552,7 +575,11 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
          budget, so its incumbent is a pure function of the instance
          whatever the pool size. Hardest-first DFS typically lands
          within a fraction of a percent of the optimum here. *)
-      sequential_grow (run_task ~share ctx platform g) [| [||] |];
+      Obs.Span.with_span_attrs span "dive" (fun dspan ->
+          sequential_grow
+            (run_task ~share { ctx with sctx = dspan } platform g)
+            [| [||] |];
+          ((), [ ("nodes", Obs.Span.Int (Atomic.get ctx.c_nodes)) ]));
       if not (Atomic.get ctx.c_limit) then false
       else if Unix.gettimeofday () > deadline || should_stop () then true
       else begin
@@ -568,19 +595,25 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
         if root_bound >= thr_b then false
         else if Atomic.get ctx.c_nodes >= options.max_nodes then true
         else begin
-          let ctx =
-            {
-              ctx with
-              det_thr = thr_b;
-              max_nodes = options.max_nodes;
-              c_limit = Atomic.make false;
-            }
-          in
-          let run prefix = run_task ~share ctx platform g prefix in
-          (match pool with
-          | Some p -> Par.Pool.parallel_grow p run [| [||] |]
-          | None -> sequential_grow run [| [||] |]);
-          Atomic.get ctx.c_limit
+          Obs.Span.with_span_attrs span "fanout" (fun fspan ->
+              let ctx =
+                {
+                  ctx with
+                  det_thr = thr_b;
+                  max_nodes = options.max_nodes;
+                  c_limit = Atomic.make false;
+                  sctx = fspan;
+                }
+              in
+              let run prefix = run_task ~share ctx platform g prefix in
+              (match pool with
+              | Some p -> Par.Pool.parallel_grow p run [| [||] |]
+              | None -> sequential_grow run [| [||] |]);
+              ( Atomic.get ctx.c_limit,
+                [
+                  ("nodes", Obs.Span.Int (Atomic.get ctx.c_nodes));
+                  ("subtrees", Obs.Span.Int (Atomic.get ctx.c_subtrees));
+                ] ))
         end
       end
     end

@@ -78,6 +78,7 @@ type result = {
 }
 
 val solve :
+  ?span:Obs.Span.ctx ->
   ?options:options ->
   ?should_stop:(unit -> bool) ->
   ?incumbent:Mapping.t ->
@@ -91,6 +92,15 @@ val solve :
     on the period (e.g. the root LP relaxation) used to tighten the
     reported gap. [pool] fans the root subtrees out over worker domains;
     the result is bitwise identical to the sequential run (see above).
+
+    [span] (default {!Obs.Span.null}: free) records the solver flight
+    recorder: the portfolio seed's spans, a ["dive"] span (phase A)
+    and a ["fanout"] span (phase B), each with one ["subtree:<hash>"]
+    child per budgeted subtree task annotated with its local
+    nodes/pruned/incumbents/spilled counters. The phase-B task {e set}
+    is timing-dependent (budgets run out at different points), so
+    subtree spans — like the node counters — vary between runs even
+    though the returned mapping never does.
 
     [should_stop] is polled periodically during the search (default:
     never): once it returns [true] the search stops like a node budget

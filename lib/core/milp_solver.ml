@@ -62,7 +62,7 @@ let pick_engine options platform g =
   | Auto ->
       if G.n_tasks g * P.n_pes platform <= 40 then Exact else Search
 
-let solve_exact ~options ~should_stop ~start platform g incumbent =
+let solve_exact ~span ~options ~should_stop ~start platform g incumbent =
   let share = options.share_colocated_buffers in
   (* Combinatorial pre-check: when the closed-form §5 bound already
      proves the (polished) incumbent within [rel_gap], no LP is ever
@@ -92,8 +92,8 @@ let solve_exact ~options ~should_stop ~start platform g incumbent =
     }
   in
   let outcome =
-    Lp.Branch_bound.solve ~options:bb_options ~should_stop ~warm_start:warm
-      formulation.Milp_formulation.problem
+    Lp.Branch_bound.solve ~span ~options:bb_options ~should_stop
+      ~warm_start:warm formulation.Milp_formulation.problem
   in
   let mapping, proven =
     match outcome.Lp.Branch_bound.best with
@@ -119,7 +119,7 @@ let solve_exact ~options ~should_stop ~start platform g incumbent =
    own combinatorial relaxation. *)
 let root_lp_row_limit = 2000
 
-let solve_search ~options ~should_stop ~start ?pool platform g incumbent =
+let solve_search ~span ~options ~should_stop ~start ?pool platform g incumbent =
   let root_lp_bound =
     if not options.root_lp then 0.
     else begin
@@ -153,7 +153,7 @@ let solve_search ~options ~should_stop ~start ?pool platform g incumbent =
     }
   in
   let r =
-    Mapping_search.solve ~options:search_options ~should_stop ~incumbent
+    Mapping_search.solve ~span ~options:search_options ~should_stop ~incumbent
       ~extra_lower_bound:root_lp_bound ?pool platform g
   in
   (* Polish the incumbent; this can only improve it, and the bound remains
@@ -175,8 +175,8 @@ let solve_search ~options ~should_stop ~start ?pool platform g incumbent =
     ~lower_bound:r.Mapping_search.lower_bound
     ~proven:r.Mapping_search.optimal_within_gap ~nodes:r.Mapping_search.nodes
 
-let solve ?(options = default_options) ?(should_stop = fun () -> false) ?pool
-    platform g =
+let solve ?(span = Obs.Span.null) ?(options = default_options)
+    ?(should_stop = fun () -> false) ?pool platform g =
   let start = Unix.gettimeofday () in
   let incumbent =
     match
@@ -187,6 +187,7 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false) ?pool
     | None -> Heuristics.ppe_only platform g
   in
   match pick_engine options platform g with
-  | Exact -> solve_exact ~options ~should_stop ~start platform g incumbent
-  | Search -> solve_search ~options ~should_stop ~start ?pool platform g incumbent
+  | Exact -> solve_exact ~span ~options ~should_stop ~start platform g incumbent
+  | Search ->
+      solve_search ~span ~options ~should_stop ~start ?pool platform g incumbent
   | Auto -> assert false

@@ -45,13 +45,18 @@ type result = {
 }
 
 val solve :
+  ?span:Obs.Span.ctx ->
   ?options:options ->
   ?should_stop:(unit -> bool) ->
   ?pool:Par.Pool.t ->
   Cell.Platform.t ->
   Streaming.Graph.t ->
   result
-(** [pool] parallelizes the [`Search] engine's branch and bound (the
+(** [span] (default {!Obs.Span.null}: free) is passed to the chosen
+    engine: {!Lp.Branch_bound.solve} records a ["milp-bb"] span,
+    {!Mapping_search.solve} the portfolio/dive/fanout/subtree family.
+
+    [pool] parallelizes the [`Search] engine's branch and bound (the
     [`Exact] engine ignores it); the result is bitwise identical to the
     sequential run — see {!Mapping_search.solve}.
 

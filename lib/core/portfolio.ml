@@ -46,9 +46,10 @@ let run_entrant ~eval_options ~max_passes ~inc platform g (name, make_start) =
   if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_candidates;
   { name; mapping; period; feasible }
 
-let solve ?pool ?(should_stop = fun () -> false) ?(restarts = default_restarts)
-    ?(seed = default_seed) ?(max_passes = 50) ?(share_colocated_buffers = false)
-    platform g =
+let solve ?(span = Obs.Span.null) ?pool ?(should_stop = fun () -> false)
+    ?(restarts = default_restarts) ?(seed = default_seed) ?(max_passes = 50)
+    ?(share_colocated_buffers = false) platform g =
+  Obs.Span.with_span span "portfolio" @@ fun span ->
   let eval_options =
     Eval.make_options ~share_colocated_buffers ()
   in
@@ -74,9 +75,20 @@ let solve ?pool ?(should_stop = fun () -> false) ?(restarts = default_restarts)
      net, which is cheap and guarantees a feasible result even when the
      deadline has already passed at dispatch. Skipped entrants are
      dropped from the candidate report. *)
+  (* Entrant spans carry content-derived ids (the entrant name is the
+     path component), so the merged stream is identical whichever
+     worker ran each entrant. *)
   let run ((name, _) as entrant) =
     if name <> "ppe-only" && should_stop () then None
-    else Some (run_one entrant)
+    else
+      Some
+        (Obs.Span.with_span_attrs span ("entrant:" ^ name) (fun _ ->
+             let c = run_one entrant in
+             ( c,
+               [
+                 ("period", Obs.Span.Float c.period);
+                 ("feasible", Obs.Span.Bool c.feasible);
+               ] )))
   in
   let candidates =
     match pool with

@@ -36,6 +36,7 @@ type result = {
 }
 
 val solve :
+  ?span:Obs.Span.ctx ->
   ?pool:Par.Pool.t ->
   ?should_stop:(unit -> bool) ->
   ?restarts:int ->
@@ -47,6 +48,12 @@ val solve :
   result
 (** Defaults: [restarts = 6], [seed = 0x5EED], [max_passes = 50] (local
     search), sequential when [pool] is absent.
+
+    [span] (default {!Obs.Span.null}: free) records a ["portfolio"]
+    span with one ["entrant:<name>"] child per entrant run, annotated
+    with its canonical period and feasibility. Entrant names are the
+    span path components, so the merged stream is pool-size
+    independent (timestamps aside).
 
     [should_stop] (default: never) is checked before each entrant: once
     it returns [true], remaining entrants other than the always-run

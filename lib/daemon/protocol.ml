@@ -7,6 +7,7 @@
 
 type command =
   | Submit of { id : string option; request : Service.Request.t }
+  | Trace of string
   | Metrics
   | Ping
   | Quit
@@ -49,6 +50,19 @@ let parse ~load_graph ?default_spes ?default_strategy lineno line =
   | [ "METRICS" ] -> Command Metrics
   | [ "PING" ] -> Command Ping
   | [ "QUIT" ] -> Command Quit
+  | [ "TRACE"; id ] when valid_id id -> Command (Trace id)
+  | [ "TRACE"; id ] ->
+      Malformed
+        {
+          id = None;
+          reason =
+            Printf.sprintf
+              "invalid trace id %S (want 1-%d chars of [A-Za-z0-9_.:-])" id
+              max_id_length;
+        }
+  | [ "TRACE" ] -> Malformed { id = None; reason = "TRACE takes exactly one id" }
+  | "TRACE" :: _ :: _ :: _ ->
+      Malformed { id = None; reason = "TRACE takes exactly one id" }
   | ("METRICS" | "PING" | "QUIT") :: _ :: _ ->
       Malformed { id = None; reason = "verb takes no arguments" }
   | words -> (
@@ -122,6 +136,9 @@ let render_reply ~id ~partial ?bound response =
 let render_reject ~id = Printf.sprintf "REJECT %s overload\n" id
 let render_error ~id reason = Printf.sprintf "ERROR %s %s\n" id (one_line reason)
 let render_metrics body = Printf.sprintf "BEGIN metrics\n%sEND metrics\n" body
+
+let render_trace ~id body =
+  Printf.sprintf "BEGIN trace %s\n%sEND trace %s\n" id body id
 let pong = "PONG\n"
 let bye = "BYE\n"
 

@@ -4,7 +4,7 @@
     lines are ignored, a trailing [\r] is tolerated):
 
     {v
-    line     ::= request | "METRICS" | "PING" | "QUIT" | blank
+    line     ::= request | "TRACE" TOKEN | "METRICS" | "PING" | "QUIT" | blank
     request  ::= <graph-file> attr*          ; the batch request grammar
     attr     ::= spes=N | strategy=portfolio|bb | seed=N | restarts=N
                | gap=F | max-nodes=N | deadline=MS | prio=N | id=TOKEN
@@ -26,8 +26,13 @@
     ERROR <id> <reason>            ; unparseable line
     PONG                           ; reply to PING
     BEGIN metrics ... END metrics  ; reply to METRICS (Prometheus text)
+    BEGIN trace <id> ... END trace <id>  ; reply to TRACE (span tree)
     BYE                            ; reply to QUIT, then shutdown
     v}
+
+    [TRACE <id>] returns the retained span tree of a completed request
+    (one [span <path> dur_ms=... k=v] line per span, parents first);
+    an unknown or evicted id gets an [ERROR] reply.
 
     The body between [BEGIN]/[END] is byte-for-byte
     {!Service.Batch.render} of the response, so daemon replies can be
@@ -37,6 +42,7 @@ type command =
   | Submit of { id : string option; request : Service.Request.t }
       (** [id = None] when the client omitted [id=]; the server assigns
           one before replying. *)
+  | Trace of string  (** [TRACE <id>]: the span tree of request [id]. *)
   | Metrics
   | Ping
   | Quit
@@ -74,6 +80,10 @@ val render_error : id:string -> string -> string
 (** Newlines in the reason are flattened to keep the reply one line. *)
 
 val render_metrics : string -> string
+
+val render_trace : id:string -> string -> string
+(** Frame a span-tree body as [BEGIN trace <id> ... END trace <id>]. *)
+
 val pong : string
 val bye : string
 

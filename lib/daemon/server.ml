@@ -56,6 +56,49 @@ let h_latency =
   Obs.Metrics.histogram ~help:"Daemon reply latency (seconds since receipt)"
     "daemon_reply_seconds"
 
+(* Slack can be negative (reply after the deadline), so the log-scale
+   default is unusable: explicit symmetric-ish ms bounds instead. *)
+let slack_buckets =
+  [|
+    -60000.; -30000.; -10000.; -5000.; -2000.; -1000.; -500.; -200.; -100.;
+    -50.; -20.; -10.; -5.; -2.; -1.; 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.;
+    200.; 500.; 1000.; 2000.; 5000.; 10000.; 30000.; 60000.;
+  |]
+
+let h_slack =
+  Obs.Metrics.histogram
+    ~help:
+      "Milliseconds between the reply and its deadline (negative: missed)"
+    ~buckets:slack_buckets "daemon_deadline_slack_ms"
+
+(* SLO and stage families: every child hoisted eagerly at module init —
+   family lookups from pool workers would contend the registry lock and
+   lazy registration across domains is racy. *)
+let slo_family name help =
+  let child band = Obs.Metrics.counter_family ~help name ~labels:[ "band" ] [ band ] in
+  (child "low", child "normal", child "high")
+
+let slo_met =
+  slo_family "daemon_slo_met_total"
+    "Replies delivered within their deadline (no deadline counts as met), by priority band"
+
+let slo_missed =
+  slo_family "daemon_slo_missed_total"
+    "Replies delivered after their deadline, by priority band"
+
+let slo_counter (low, normal, high) prio =
+  if prio < 0 then low else if prio > 0 then high else normal
+
+let stage_hist stage =
+  Obs.Metrics.histogram_family
+    ~help:"Per-request stage latency (seconds), by stage" "daemon_stage_seconds"
+    ~labels:[ "stage" ] [ stage ]
+
+let h_stage_queue = stage_hist "queue"
+let h_stage_cache = stage_hist "cache"
+let h_stage_solve = stage_hist "solve"
+let h_stage_reply = stage_hist "reply"
+
 (* --- configuration -------------------------------------------------------- *)
 
 type config = {
@@ -68,6 +111,7 @@ type config = {
   cache_bytes : int option;
   flush_period : float;
   metrics_file : string option;
+  trace_dir : string option;
 }
 
 let default_config =
@@ -81,6 +125,7 @@ let default_config =
     cache_bytes = None;
     flush_period = 30.;
     metrics_file = None;
+    trace_dir = None;
   }
 
 (* --- server state --------------------------------------------------------- *)
@@ -110,6 +155,8 @@ type job = {
   out : string -> unit;
   received : float;
   deadline : float;  (* absolute seconds; [infinity] when none *)
+  trace : Obs.Span.collector;  (* this request's private span buffer *)
+  span : Obs.Span.ctx;  (* position under the request root span *)
   mutable promise : unit Par.Pool.promise option;
 }
 
@@ -139,6 +186,10 @@ type t = {
   stop : bool Atomic.t;
   load_graph : string -> Streaming.Graph.t;
   on_reply : reply -> unit;
+  (* Completed span trees for the TRACE verb, bounded FIFO. Touched only
+     from the main loop (send_reply and handle_line both run there). *)
+  traces : (string, Obs.Span.span list) Hashtbl.t;
+  trace_order : string Queue.t;
   mutable line_no : int;
   mutable auto_id : int;
   mutable last_flush : float;
@@ -185,6 +236,9 @@ let create ?(on_reply = fun _ -> ()) ?load_graph config =
   let load_graph =
     match load_graph with Some f -> f | None -> default_loader ()
   in
+  (match config.trace_dir with
+  | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | None -> ());
   {
     config;
     cache;
@@ -195,6 +249,8 @@ let create ?(on_reply = fun _ -> ()) ?load_graph config =
     stop = Atomic.make false;
     load_graph;
     on_reply;
+    traces = Hashtbl.create 64;
+    trace_order = Queue.create ();
     line_no = 0;
     auto_id = 0;
     last_flush = Unix.gettimeofday ();
@@ -248,6 +304,15 @@ let metrics_inc c = if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc c
 let observe_latency latency =
   if Obs.Metrics.enabled () then Obs.Metrics.Histogram.observe h_latency latency
 
+(* One timed stage: a child span plus the matching stage-latency
+   histogram observation. *)
+let stage_span span hist name f =
+  let t0 = Unix.gettimeofday () in
+  let v = Obs.Span.with_span span name (fun _ -> f ()) in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.Histogram.observe hist (Unix.gettimeofday () -. t0);
+  v
+
 (* --- persistence ---------------------------------------------------------- *)
 
 let write_metrics_file path =
@@ -292,15 +357,72 @@ let next_id t =
   t.auto_id <- t.auto_id + 1;
   Printf.sprintf "q%d" t.auto_id
 
+let max_retained_traces = 256
+
+let write_trace_file t (job : job) spans =
+  match t.config.trace_dir with
+  | None -> ()
+  | Some dir -> (
+      let path = Filename.concat dir (job.id ^ ".json") in
+      try
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Obs.Span.to_chrome_json spans))
+      with Sys_error m -> Printf.eprintf "cellsched serve: trace: %s\n%!" m)
+
+let store_trace t (job : job) spans =
+  if not (Hashtbl.mem t.traces job.id) then begin
+    Queue.push job.id t.trace_order;
+    while Queue.length t.trace_order > max_retained_traces do
+      Hashtbl.remove t.traces (Queue.pop t.trace_order)
+    done
+  end;
+  (* An id reused by the client keeps its latest tree (no extra FIFO
+     slot, so eviction order stays first-completion). *)
+  Hashtbl.replace t.traces job.id spans
+
 let send_reply t (job : job) ~partial ?bound response =
-  let latency = Unix.gettimeofday () -. job.received in
-  job.out (Protocol.render_reply ~id:job.id ~partial ?bound response);
+  stage_span job.span h_stage_reply "reply" (fun () ->
+      job.out (Protocol.render_reply ~id:job.id ~partial ?bound response));
+  let now = Unix.gettimeofday () in
+  let latency = now -. job.received in
   t.replies <- t.replies + 1;
   observe_latency latency;
   let status : status =
     if partial then `Partial
     else match response.Batch.source with Batch.Hit -> `Hit | _ -> `Solved
   in
+  (* SLO accounting: a reply with no deadline counts as met; slack is
+     only meaningful (and only observed) for finite deadlines. *)
+  let met = now <= job.deadline in
+  if Obs.Metrics.enabled () then begin
+    let prio = job.request.Request.prio in
+    Obs.Metrics.Counter.inc
+      (slo_counter (if met then slo_met else slo_missed) prio);
+    if Float.is_finite job.deadline then
+      Obs.Metrics.Histogram.observe h_slack ((job.deadline -. now) *. 1000.)
+  end;
+  (* Close the request root span and retain the finished tree for the
+     TRACE verb and the per-request Chrome file. *)
+  Obs.Span.record
+    (Obs.Span.root job.trace ~trace:job.id)
+    ~t_start:job.received ~t_stop:now
+    ~attrs:
+      [
+        ( "status",
+          Obs.Span.String
+            (match status with
+            | `Partial -> "partial"
+            | `Hit -> "hit"
+            | _ -> "solved") );
+        ("prio", Obs.Span.Int job.request.Request.prio);
+        ("slo_met", Obs.Span.Bool met);
+      ]
+    "request";
+  let spans = Obs.Span.spans job.trace in
+  store_trace t job spans;
+  write_trace_file t job spans;
   t.on_reply { id = job.id; status; response = Some response; latency }
 
 let send_error t ~id ~out reason =
@@ -326,8 +448,17 @@ let run_job t (job : job) =
     end
     else false
   in
+  let t0 = Unix.gettimeofday () in
   let outcome =
-    match Batch.solve_request ~should_stop job.request with
+    match
+      Obs.Span.with_span_attrs job.span "solve" (fun span ->
+          let res = Batch.solve_request ~span ~should_stop job.request in
+          ( res,
+            [
+              ("partial", Obs.Span.Bool !cancelled);
+              ("deadline_hit", Obs.Span.Bool !deadline_hit);
+            ] ))
+    with
     | assignment, period, bound ->
         Finished
           {
@@ -339,6 +470,8 @@ let run_job t (job : job) =
           }
     | exception exn -> Crashed (Printexc.to_string exn)
   in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.Histogram.observe h_stage_solve (Unix.gettimeofday () -. t0);
   Mutex.lock t.completed_mutex;
   Queue.push { job; outcome } t.completed;
   Mutex.unlock t.completed_mutex
@@ -386,10 +519,19 @@ let dispatch t =
       match Admission.next t.admission with
       | None -> ()
       | Some job -> (
+          (* The admission-queue wait: stamped from receipt to dispatch,
+             recorded here because its start crossed an async boundary. *)
+          Obs.Span.record job.span ~t_start:job.received "queue";
+          if Obs.Metrics.enabled () then
+            Obs.Metrics.Histogram.observe h_stage_queue
+              (Unix.gettimeofday () -. job.received);
           (* Re-check the cache at dispatch: a duplicate that queued
              behind its twin becomes a hit the moment the twin's solve
              lands, instead of burning a second solve. *)
-          match Batch.try_cache ~cache:t.cache job.request with
+          match
+            stage_span job.span h_stage_cache "cache@dispatch" (fun () ->
+                Batch.try_cache ~cache:t.cache job.request)
+          with
           | Some response ->
               Admission.finish t.admission;
               t.hits <- t.hits + 1;
@@ -429,6 +571,13 @@ let handle_line t ~out line =
       out
         (Protocol.render_metrics
            (Obs.Metrics.to_prometheus Obs.Metrics.default))
+  | Protocol.Command (Protocol.Trace id) -> (
+      (* A read-only verb like METRICS: replies without touching the
+         request counters or admission control. *)
+      match Hashtbl.find_opt t.traces id with
+      | Some spans ->
+          out (Protocol.render_trace ~id (Obs.Span.render_flat spans))
+      | None -> out (Protocol.render_error ~id "unknown or evicted trace id"))
   | Protocol.Malformed { id; reason } ->
       t.received <- t.received + 1;
       metrics_inc m_requests;
@@ -439,17 +588,34 @@ let handle_line t ~out line =
       metrics_inc m_requests;
       let id = match id with Some id -> id | None -> next_id t in
       let received = Unix.gettimeofday () in
+      (* Every request gets a private span collector rooted at its id;
+         the root "request" span itself is recorded when the reply goes
+         out, but children nest under it from the first probe on. *)
+      let trace = Obs.Span.collector () in
+      let span = Obs.Span.sub (Obs.Span.root trace ~trace:id) "request" in
       (* The warm-cache hit path never queues: it is answered inline,
          bypassing admission control entirely, so an overloaded daemon
          keeps serving everything it already knows. *)
-      match Batch.try_cache ~cache:t.cache request with
+      match
+        stage_span span h_stage_cache "cache" (fun () ->
+            Batch.try_cache ~cache:t.cache request)
+      with
       | Some response ->
           t.accepted <- t.accepted + 1;
           t.hits <- t.hits + 1;
           metrics_inc m_accepted;
           metrics_inc m_hits;
           send_reply t
-            { id; request; out; received; deadline = infinity; promise = None }
+            {
+              id;
+              request;
+              out;
+              received;
+              deadline = infinity;
+              trace;
+              span;
+              promise = None;
+            }
             ~partial:false response
       | None ->
           let deadline =
@@ -457,7 +623,9 @@ let handle_line t ~out line =
             | Some ms -> received +. (ms /. 1000.)
             | None -> infinity
           in
-          let job = { id; request; out; received; deadline; promise = None } in
+          let job =
+            { id; request; out; received; deadline; trace; span; promise = None }
+          in
           if Admission.admit t.admission ~prio:request.Request.prio job then begin
             t.accepted <- t.accepted + 1;
             metrics_inc m_accepted;

@@ -36,10 +36,27 @@
       check, so {e every admitted request is replied to} (tagged
       partial) before the final flush — a SIGTERM drops nothing.
 
+    - {b Tracing}: every submitted request owns a private
+      {!Obs.Span.collector}; the engine records a span tree rooted at
+      a ["request"] span (annotated with status, priority and SLO
+      outcome) with children for the cache probe ([cache] at receipt,
+      [cache@dispatch] at the queue head), the admission-queue wait
+      ([queue], stamped from receipt), the [solve] (whose subtree is
+      the solver flight recorder of {!Service.Batch.solve_request} —
+      portfolio entrants, dive/fanout/subtree tasks, [milp-bb]) and the
+      [reply] rendering/write. Finished trees are retained in a
+      bounded FIFO (most recent 256) and served back by the
+      [TRACE <id>] verb as one [span <path> dur_ms=...] line per span,
+      parents first; with [config.trace_dir] set, each request
+      additionally writes [<dir>/<id>.json] in Chrome [trace_event]
+      format.
+
     Metric families ([daemon_*]: accepted/rejected/hits/solved/partial/
     deadline-expired/errors/flushes counters, pending and in-flight
-    gauges, a reply-latency histogram) are registered at module
-    initialisation; the serve loops enable the registry on entry. *)
+    gauges, reply-latency, deadline-slack and per-stage latency
+    histograms, SLO met/missed counters by priority band) are
+    registered at module initialisation; the serve loops enable the
+    registry on entry. *)
 
 type config = {
   default_spes : int;  (** For request lines without [spes=]. *)
@@ -56,11 +73,14 @@ type config = {
   metrics_file : string option;
       (** Rewritten at every flush and at shutdown; Prometheus text, or
           JSON when the path ends in [.json]. *)
+  trace_dir : string option;
+      (** When set (created if missing), every completed request writes
+          its span tree to [<dir>/<id>.json] as a Chrome trace. *)
 }
 
 val default_config : config
 (** 8 SPEs, portfolio strategy, bound 64, concurrency 1, no
-    persistence, 30 s flush period. *)
+    persistence, 30 s flush period, no trace directory. *)
 
 type status = [ `Hit | `Solved | `Partial | `Rejected | `Error of string ]
 

@@ -73,8 +73,8 @@ let find_branch_var ~int_tol int_vars (x : float array) =
   List.iter consider int_vars;
   if !best < 0 then None else Some !best
 
-let solve ?(options = default_options) ?(should_stop = fun () -> false)
-    ?warm_start problem =
+let solve ?(span = Obs.Span.null) ?(options = default_options)
+    ?(should_stop = fun () -> false) ?warm_start problem =
   let sense, _ = Problem.objective problem in
   (* Internally we minimize; flip reported values for Maximize. *)
   let to_internal obj =
@@ -182,6 +182,18 @@ let solve ?(options = default_options) ?(should_stop = fun () -> false)
       Obs.Metrics.Gauge.set m_gap
         (if gap = infinity then Float.nan else gap)
     end;
+    (* Flight-recorder span: one per solve, covering root LP through
+       this exit, whichever path finished the tree. *)
+    Obs.Span.record span ~t_start:start_time
+      ~attrs:
+        [
+          ("nodes", Obs.Span.Int !nodes);
+          ("pruned", Obs.Span.Int !pruned);
+          ("incumbents", Obs.Span.Int !incumbents);
+          ("lp_warm", Obs.Span.Int !lp_warm);
+          ("lp_cold", Obs.Span.Int !lp_cold);
+        ]
+      "milp-bb";
     {
       status;
       best = Option.map (fun (s : Simplex.solution) -> s) !incumbent;

@@ -42,12 +42,18 @@ type outcome = {
 }
 
 val solve :
+  ?span:Obs.Span.ctx ->
   ?options:options ->
   ?should_stop:(unit -> bool) ->
   ?warm_start:float array ->
   Problem.t ->
   outcome
-(** [warm_start] is a full assignment whose integer components seed the
+(** [span] (default {!Obs.Span.null}: free) records one ["milp-bb"]
+    span covering the whole solve, annotated with nodes, prunes,
+    incumbent improvements and the warm/cold LP split — the solver
+    flight recorder.
+
+    [warm_start] is a full assignment whose integer components seed the
     incumbent: integer variables are fixed to their rounded values and the
     continuous rest re-optimized; it is ignored if that LP is infeasible.
 

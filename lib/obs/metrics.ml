@@ -70,7 +70,51 @@ module Histogram = struct
     if not (factor > 1.) then invalid_arg "Metrics.log_buckets: factor must be > 1";
     if count <= 0 then invalid_arg "Metrics.log_buckets: count must be > 0";
     Array.init count (fun i -> lo *. (factor ** float_of_int i))
+
+  (* Quantile estimate from non-cumulative buckets: cumulative walk to
+     the bucket holding rank [q * total], then linear interpolation
+     between its edges. The first bucket's lower edge is unknown, so we
+     use 0 when its bound is positive (durations) and the bound itself
+     otherwise; the overflow bucket has no upper edge, so it reports its
+     lower one. Monotone in [q] by construction. *)
+  let quantile_of_buckets buckets q =
+    if not (q >= 0. && q <= 1.) then
+      invalid_arg "Metrics.histogram_quantile: q must be in [0, 1]";
+    let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+    if total = 0 then Float.nan
+    else begin
+      let target = q *. float_of_int total in
+      let result = ref Float.nan in
+      let cum = ref 0 in
+      (try
+         Array.iteri
+           (fun i (ub, n) ->
+             let prev = !cum in
+             cum := !cum + n;
+             if n > 0 && float_of_int !cum >= target then begin
+               let lower =
+                 if i = 0 then
+                   let b0 = fst buckets.(0) in
+                   if b0 > 0. then 0. else b0
+                 else fst buckets.(i - 1)
+               in
+               (if Float.is_finite ub then
+                  let frac =
+                    Float.max 0. ((target -. float_of_int prev) /. float_of_int n)
+                  in
+                  result := lower +. (frac *. (ub -. lower))
+                else result := lower);
+               raise Exit
+             end)
+           buckets
+       with Exit -> ());
+      !result
+    end
+
+  let quantile t q = quantile_of_buckets (buckets t) q
 end
+
+let histogram_quantile = Histogram.quantile_of_buckets
 
 type metric =
   | M_counter of Counter.t
@@ -341,7 +385,22 @@ let to_json registry =
 
 (* --- Prometheus text exposition ----------------------------------------- *)
 
-let prom_escape s =
+(* The text exposition has two distinct escaping rules: HELP text
+   escapes only backslash and newline, while quoted label values also
+   escape the double quote. Sharing one escaper would either corrupt
+   label values or add a spurious backslash before quotes in HELP. *)
+let prom_escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_escape_label s =
   let buf = Buffer.create (String.length s) in
   String.iter
     (fun c ->
@@ -360,7 +419,7 @@ let prom_labels names values =
       "{"
       ^ String.concat ","
           (List.map2
-             (fun n v -> Printf.sprintf "%s=\"%s\"" n (prom_escape v))
+             (fun n v -> Printf.sprintf "%s=\"%s\"" n (prom_escape_label v))
              names values)
       ^ "}"
 
@@ -376,7 +435,7 @@ let to_prometheus registry =
     (fun (f : family_snapshot) ->
       if f.help <> "" then
         Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" f.name (prom_escape f.help));
+          (Printf.sprintf "# HELP %s %s\n" f.name (prom_escape_help f.help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.name f.kind);
       List.iter
         (fun (values, v) ->

@@ -60,6 +60,10 @@ module Histogram : sig
       decade), [count = 36] — spanning 1 µs to beyond 1 ks (bound 27),
       the range of every duration this codebase measures.
       @raise Invalid_argument unless [lo > 0.], [factor > 1.], [count > 0]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-quantile ([0. <= q <= 1.]) from
+      the live bucket counts — see {!histogram_quantile}. *)
 end
 
 (** {1 Registry} *)
@@ -135,5 +139,20 @@ val to_json : t -> string
     [{"families": [{"name": ..., "kind": ..., "samples": [...]}]}]. *)
 
 val to_prometheus : t -> string
-(** Prometheus text exposition format (HELP/TYPE comments, cumulative
-    [_bucket{le=...}] histogram series). *)
+(** Prometheus text exposition format: one [# HELP]/[# TYPE] pair per
+    family (never repeated per labeled child) followed by its samples,
+    with cumulative [_bucket{le=...}] histogram series. HELP text
+    escapes backslash and newline; label values additionally escape
+    the double quote. *)
+
+val histogram_quantile : (float * int) array -> float -> float
+(** [histogram_quantile buckets q] estimates the [q]-quantile from
+    non-cumulative buckets as returned by {!Histogram.buckets} or
+    carried in {!Histogram_v}: a cumulative walk finds the bucket
+    holding rank [q * total], then linear interpolation between its
+    edges locates the estimate. The first bucket's lower edge is taken
+    as [0.] when its bound is positive and the bound itself otherwise;
+    the overflow bucket reports its lower edge. Returns [nan] on an
+    empty histogram. Monotone in [q], so p50 <= p95 <= p99 always
+    holds.
+    @raise Invalid_argument unless [0. <= q <= 1.]. *)

@@ -39,11 +39,12 @@ let h_batch =
    on the optimal period (the combinatorial {!Cellsched.Bounds} root
    for the portfolio, the search's own bound for [bb]) — the daemon
    quotes the bound and the implied optimality gap on partial replies. *)
-let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
+let solve_request ?(span = Obs.Span.null) ?(should_stop = fun () -> false)
+    (r : Request.t) =
   match r.Request.strategy with
   | Request.Portfolio { seed; restarts } ->
       let res =
-        Cellsched.Portfolio.solve ~should_stop ~seed ~restarts r.platform
+        Cellsched.Portfolio.solve ~span ~should_stop ~seed ~restarts r.platform
           r.graph
       in
       ( M.to_array res.Cellsched.Portfolio.best,
@@ -63,7 +64,8 @@ let solve_request ?(should_stop = fun () -> false) (r : Request.t) =
         }
       in
       let res =
-        Cellsched.Mapping_search.solve ~options ~should_stop r.platform r.graph
+        Cellsched.Mapping_search.solve ~span ~options ~should_stop r.platform
+          r.graph
       in
       ( M.to_array res.Cellsched.Mapping_search.mapping,
         res.Cellsched.Mapping_search.period,
@@ -169,7 +171,8 @@ let solved_response ?(store = true) ~cache r result =
     ~ord:(Streaming.Canonical.order r.Request.graph)
     result
 
-let run ?pool ~cache requests =
+let run ?(span = Obs.Span.null) ?pool ~cache requests =
+  Obs.Span.with_span span "batch" @@ fun span ->
   let t0 = Unix.gettimeofday () in
   let requests = Array.of_list requests in
   let n = Array.length requests in
@@ -202,8 +205,11 @@ let run ?pool ~cache requests =
         (solved_keyed ~store:true ~cache requests.(i) ~fp:fps.(i) ~ord:ords.(i)
            (assignment, period))
   in
+  (* Miss spans are named by the request fingerprint, so the merged
+     stream is independent of which worker solved which miss. *)
   let solve_one i =
-    let assignment, period, _bound = solve_request requests.(i) in
+    Obs.Span.with_span span ("solve:" ^ String.sub fps.(i) 0 12) @@ fun span ->
+    let assignment, period, _bound = solve_request ~span requests.(i) in
     (i, assignment, period)
   in
   (* Distinct misses fan out over the pool; each inner solve runs

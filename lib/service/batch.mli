@@ -46,7 +46,10 @@ type response = {
 }
 
 val solve_request :
-  ?should_stop:(unit -> bool) -> Request.t -> int array * float * float
+  ?span:Obs.Span.ctx ->
+  ?should_stop:(unit -> bool) ->
+  Request.t ->
+  int array * float * float
 (** One uncached solver run: the assignment (request task order), the
     canonical period, and the best proven lower bound on the optimal
     period (the search's bound for [bb], the combinatorial
@@ -72,9 +75,20 @@ val solved_response :
     [store:false] for deadline-cancelled partial results so a timing-
     dependent incumbent can never poison the deterministic cache. *)
 
-val run : ?pool:Par.Pool.t -> cache:Cache.t -> Request.t list -> response list
+val run :
+  ?span:Obs.Span.ctx ->
+  ?pool:Par.Pool.t ->
+  cache:Cache.t ->
+  Request.t list ->
+  response list
 (** Responses in request order. The cache is updated in place with
-    every fresh solve. *)
+    every fresh solve.
+
+    [span] (default {!Obs.Span.null}: free) records one ["batch"] span
+    with a ["solve:<fp12>"] child per distinct miss (named by the first
+    12 hex digits of the request fingerprint, so the merged stream is
+    independent of which pool worker ran which solve), each containing
+    the underlying solver's flight-recorder spans. *)
 
 val render : response -> string
 (** Deterministic multi-line text block (the CLI output format; the

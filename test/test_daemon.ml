@@ -95,6 +95,46 @@ let with_metrics f =
   Obs.Metrics.set_enabled true;
   Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was) f
 
+let contains sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Ask the server for the span tree of [id] and parse the flat body into
+   (path, rest-of-line) pairs, checking the BEGIN/END framing. *)
+let trace_spans h id =
+  Buffer.clear h.out;
+  feed h (Printf.sprintf "TRACE %s" id);
+  let body = output h in
+  Alcotest.(check bool)
+    (Printf.sprintf "trace %s framed" id)
+    true
+    (String.starts_with ~prefix:(Printf.sprintf "BEGIN trace %s\n" id) body
+    && String.ends_with ~suffix:(Printf.sprintf "END trace %s\n" id) body);
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         if String.starts_with ~prefix:"span " line then
+           let rest = String.sub line 5 (String.length line - 5) in
+           match String.index_opt rest ' ' with
+           | Some i ->
+               Some
+                 ( String.sub rest 0 i,
+                   String.sub rest i (String.length rest - i) )
+           | None -> Some (rest, "")
+         else None)
+
+let check_well_parented spans =
+  let paths = List.map fst spans in
+  List.iter
+    (fun p ->
+      match String.rindex_opt p '/' with
+      | Some 0 | None -> ()  (* a root like "/request" *)
+      | Some i ->
+          let parent = String.sub p 0 i in
+          if not (List.mem parent paths) then
+            Alcotest.failf "span %s has no parent %s in the trace" p parent)
+    paths
+
 (* ====================================================================== *)
 (* Protocol: round-trips                                                  *)
 (* ====================================================================== *)
@@ -160,6 +200,27 @@ let test_parse_verbs () =
   match parse "ping" with
   | Proto.Malformed _ -> ()
   | _ -> Alcotest.fail "lowercase ping should fail as a missing graph"
+
+let test_parse_trace () =
+  (match parse "TRACE r1" with
+  | Proto.Command (Proto.Trace "r1") -> ()
+  | _ -> Alcotest.fail "TRACE r1 must parse");
+  (match parse "  TRACE job.7:a-b \r" with
+  | Proto.Command (Proto.Trace "job.7:a-b") -> ()
+  | _ -> Alcotest.fail "padded TRACE with a token id must parse");
+  let malformed line =
+    match parse line with
+    | Proto.Malformed _ -> ()
+    | _ -> Alcotest.failf "%S must be malformed" line
+  in
+  malformed "TRACE";
+  malformed "TRACE a b";
+  malformed "TRACE a/b";
+  malformed (Printf.sprintf "TRACE %s" (String.make 65 'x'));
+  (* Lowercase is a graph name, like the other verbs. *)
+  malformed "trace r1";
+  Alcotest.(check string) "trace framing" "BEGIN trace t\nbody\nEND trace t\n"
+    (Proto.render_trace ~id:"t" "body\n")
 
 let test_parse_hostile () =
   let malformed ?id line =
@@ -445,6 +506,99 @@ let test_verbs_and_metrics () =
           Alcotest.(check bool) "metrics file has daemon families" true
             (contains "daemon_accepted_total" text)))
 
+let test_trace_verb () =
+  let h = harness () in
+  submit h ~id:"t1" "gA";
+  Server.drain h.server;
+  (* A solved request's tree covers every serving stage, parents first. *)
+  let spans = trace_spans h "t1" in
+  check_well_parented spans;
+  Alcotest.(check bool) "non-trivial tree" true (List.length spans >= 4);
+  Alcotest.(check bool) "root span" true (List.mem_assoc "/request" spans);
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " stage present") true
+        (List.mem_assoc ("/request/" ^ stage) spans))
+    [ "queue"; "solve"; "reply" ];
+  Alcotest.(check bool) "cache probe present" true
+    (List.mem_assoc "/request/cache" spans
+    || List.mem_assoc "/request/cache@dispatch" spans);
+  let root = List.assoc "/request" spans in
+  Alcotest.(check bool) "root status" true (contains "status=solved" root);
+  Alcotest.(check bool) "root slo" true (contains "slo_met=true" root);
+  List.iter
+    (fun (path, rest) ->
+      Alcotest.(check bool) (path ^ " has a duration") true
+        (contains "dur_ms=" rest))
+    spans;
+  (* A hit's tree is just probe + reply under the root, marked as a hit. *)
+  submit h ~id:"t2" "gA";
+  let spans2 = trace_spans h "t2" in
+  check_well_parented spans2;
+  Alcotest.(check bool) "hit cache probe" true
+    (List.mem_assoc "/request/cache" spans2);
+  Alcotest.(check bool) "hit has no solve stage" false
+    (List.mem_assoc "/request/solve" spans2);
+  Alcotest.(check bool) "hit status" true
+    (contains "status=hit" (List.assoc "/request" spans2));
+  (* Unknown and evicted ids get a plain ERROR, not a frame. *)
+  Buffer.clear h.out;
+  feed h "TRACE nosuch";
+  Alcotest.(check string) "unknown id"
+    "ERROR nosuch unknown or evicted trace id\n" (output h);
+  Server.finish h.server
+
+let test_trace_deadline () =
+  let h = harness () in
+  (* The 1 us budget expires before dispatch: the trace must say which
+     stage ate it — the solve span carries the deadline_hit marker. *)
+  feed h (Printf.sprintf "gB spes=6 %s deadline=0.001 id=p9" bb_attrs);
+  Server.drain h.server;
+  let spans = trace_spans h "p9" in
+  check_well_parented spans;
+  let root = List.assoc "/request" spans in
+  Alcotest.(check bool) "partial status on the root" true
+    (contains "status=partial" root);
+  Alcotest.(check bool) "slo missed on the root" true
+    (contains "slo_met=false" root);
+  let solve = List.assoc "/request/solve" spans in
+  Alcotest.(check bool) "deadline hit on the solve stage" true
+    (contains "deadline_hit=true" solve);
+  Alcotest.(check bool) "solve marked partial" true
+    (contains "partial=true" solve);
+  Server.finish h.server
+
+let test_slo_metrics () =
+  with_metrics (fun () ->
+      (* Zero the process-wide registry so the per-band counts below are
+         exact; handles stay registered (reset keeps them live). *)
+      Obs.Metrics.reset Obs.Metrics.default;
+      let h = harness () in
+      feed h (Printf.sprintf "gA spes=6 %s deadline=60000 prio=2 id=s1" bb_attrs);
+      feed h (Printf.sprintf "gB spes=6 %s deadline=0.001 prio=-1 id=s2" bb_attrs);
+      submit h ~id:"s3" "gC";  (* no deadline counts as met, normal band *)
+      Server.drain h.server;
+      Buffer.clear h.out;
+      feed h "METRICS";
+      let body = output h in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (sub ^ " present") true (contains sub body))
+        [
+          "daemon_slo_met_total{band=\"high\"} 1";
+          "daemon_slo_met_total{band=\"normal\"} 1";
+          "daemon_slo_missed_total{band=\"low\"} 1";
+          "daemon_slo_missed_total{band=\"high\"} 0";
+          "daemon_deadline_slack_ms_bucket";
+          "daemon_stage_seconds_bucket{stage=\"solve\"";
+          "daemon_stage_seconds_bucket{stage=\"queue\"";
+          "daemon_stage_seconds_bucket{stage=\"reply\"";
+        ];
+      (* Slack observed only for the two finite deadlines. *)
+      Alcotest.(check bool) "slack count is 2" true
+        (contains "daemon_deadline_slack_ms_count 2" body);
+      Server.finish h.server)
+
 let test_pool_matches_inline () =
   let ids = [ "x1"; "x2"; "x3"; "x4" ] in
   let labels = [ "gA"; "gB"; "gC"; "gB" ] in
@@ -657,6 +811,7 @@ let () =
         [
           qt request_roundtrip;
           Alcotest.test_case "verbs" `Quick test_parse_verbs;
+          Alcotest.test_case "TRACE parse + framing" `Quick test_parse_trace;
           Alcotest.test_case "hostile lines" `Quick test_parse_hostile;
           Alcotest.test_case "error flattening" `Quick
             test_render_error_flattens;
@@ -683,6 +838,12 @@ let () =
             test_shutdown_flush_warm_restart;
           Alcotest.test_case "verbs + daemon_* metrics" `Quick
             test_verbs_and_metrics;
+          Alcotest.test_case "TRACE returns the span tree" `Quick
+            test_trace_verb;
+          Alcotest.test_case "expired deadline shows up in the trace" `Quick
+            test_trace_deadline;
+          Alcotest.test_case "SLO accounting by priority band" `Quick
+            test_slo_metrics;
         ] );
       (* Socket tests fork, and OCaml 5 forbids Unix.fork once any domain
          has ever been spawned in the process, so they must run before the

@@ -416,6 +416,298 @@ let test_chrome_json_from_simulation () =
   Alcotest.(check int) "one lane name per PE" (P.n_pes platform) (phases "M");
   Alcotest.(check bool) "counter samples present" true (phases "C" > 0)
 
+(* --- histogram quantiles --------------------------------------------------- *)
+
+let test_histogram_quantile () =
+  (* Hand-built non-cumulative buckets: 10 in (0,1], 10 in (1,2], none
+     in (2,4], 5 overflow — 25 observations total. *)
+  let buckets = [| (1., 10); (2., 10); (4., 0); (infinity, 5) |] in
+  let q = M.histogram_quantile buckets in
+  Alcotest.(check (float 1e-9)) "q0 at first lower edge" 0. (q 0.);
+  Alcotest.(check (float 1e-9)) "q0.2 interpolates" 0.5 (q 0.2);
+  Alcotest.(check (float 1e-9)) "median" 1.25 (q 0.5);
+  Alcotest.(check (float 1e-9)) "q0.8 at bucket top" 2. (q 0.8);
+  (* Ranks landing in the overflow bucket report its lower edge. *)
+  Alcotest.(check (float 1e-9)) "q1 clamps to overflow lower edge" 4. (q 1.);
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (M.histogram_quantile [| (1., 0); (infinity, 0) |] 0.5));
+  (match q (-0.1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative quantile accepted");
+  (match q 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile above 1 accepted");
+  (* Monotone in q — the property the bench's p50 <= p95 <= p99 rests on. *)
+  let prev = ref neg_infinity in
+  for i = 0 to 100 do
+    let v = q (float_of_int i /. 100.) in
+    if v < !prev then Alcotest.failf "quantile not monotone at %d%%" i;
+    prev := v
+  done;
+  (* The live-histogram wrapper agrees with the bucket-level estimator. *)
+  let r = M.create () in
+  let h = M.histogram ~registry:r ~buckets:[| 1.; 2.; 4. |] "hq" in
+  List.iter (M.Histogram.observe h) [ 0.5; 0.6; 1.5; 3.0 ];
+  Alcotest.(check (float 1e-9))
+    "wrapper matches buckets"
+    (M.histogram_quantile (M.Histogram.buckets h) 0.5)
+    (M.Histogram.quantile h 0.5)
+
+(* --- Prometheus exposition under hostile labels and help ------------------- *)
+
+let test_prometheus_hostile_labels () =
+  let r = M.create () in
+  let child =
+    M.counter_family ~registry:r ~help:"bad \\ help\nsecond line"
+      "hostile_total" ~labels:[ "who" ]
+  in
+  M.Counter.inc (child [ "a\"b\\c\nd" ]);
+  M.Counter.inc (child [ "plain" ]);
+  let prom = M.to_prometheus r in
+  let count_sub needle =
+    let nl = String.length needle and hl = String.length prom in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else go (i + 1) (if String.sub prom i nl = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  (* Label values escape backslash, double quote and newline. *)
+  Alcotest.(check int) "escaped label value" 1
+    (count_sub "hostile_total{who=\"a\\\"b\\\\c\\nd\"} 1");
+  Alcotest.(check int) "plain sibling" 1
+    (count_sub "hostile_total{who=\"plain\"} 1");
+  (* HELP escapes backslash and newline but never the double quote. *)
+  Alcotest.(check int) "escaped help" 1
+    (count_sub "# HELP hostile_total bad \\\\ help\\nsecond line\n");
+  (* TYPE and HELP appear once per family, not once per child. *)
+  Alcotest.(check int) "one TYPE line" 1 (count_sub "# TYPE hostile_total");
+  Alcotest.(check int) "one HELP line" 1 (count_sub "# HELP hostile_total");
+  (* A raw newline in a label value must never produce a raw newline in
+     the exposition — every line stays parseable. *)
+  Alcotest.(check int) "no unescaped newline mid-sample" 0
+    (count_sub "a\"b\\c\nd")
+
+(* --- spans ----------------------------------------------------------------- *)
+
+module Sp = Obs.Span
+
+let test_span_identity () =
+  let col = Sp.collector () in
+  let root = Sp.root col ~trace:"t1" in
+  let v =
+    Sp.with_span root "request" (fun ctx ->
+        Sp.with_span ctx ~attrs:[ ("n", Sp.Int 3) ] "solve" (fun ctx ->
+            Sp.record ctx "leaf";
+            17))
+  in
+  Alcotest.(check int) "value threaded through" 17 v;
+  let spans = Sp.spans col in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  Alcotest.(check (list string)) "sorted parents first"
+    [ "/request"; "/request/solve"; "/request/solve/leaf" ]
+    (List.map (fun s -> s.Sp.path) spans);
+  let by_path p = List.find (fun s -> s.Sp.path = p) spans in
+  let req = by_path "/request" and solve = by_path "/request/solve" in
+  Alcotest.(check bool) "root has parent 0" true (Int64.equal req.Sp.parent 0L);
+  Alcotest.(check bool) "child parent is parent's id" true
+    (Int64.equal solve.Sp.parent req.Sp.id);
+  Alcotest.(check bool) "grandchild parent is child's id" true
+    (Int64.equal (by_path "/request/solve/leaf").Sp.parent solve.Sp.id);
+  Alcotest.(check bool) "ids never 0" true
+    (List.for_all (fun s -> not (Int64.equal s.Sp.id 0L)) spans);
+  (match solve.Sp.attrs with
+  | [ ("n", Sp.Int 3) ] -> ()
+  | _ -> Alcotest.fail "attrs lost");
+  Alcotest.(check bool) "timestamps ordered" true
+    (List.for_all (fun s -> s.Sp.t_stop >= s.Sp.t_start) spans);
+  (* Identity is content, not allocation order: an identical second run
+     produces the same ids; a different trace produces different ones. *)
+  let ids_of trace =
+    let c = Sp.collector () in
+    Sp.with_span (Sp.root c ~trace) "request" (fun ctx ->
+        Sp.with_span ctx "solve" (fun _ -> ()));
+    List.map (fun s -> (s.Sp.path, s.Sp.id)) (Sp.spans c)
+  in
+  Alcotest.(check bool) "same trace, same ids" true
+    (List.assoc "/request/solve" (ids_of "t1") = solve.Sp.id);
+  Alcotest.(check bool) "different trace, different ids" true
+    (List.assoc "/request/solve" (ids_of "t2") <> solve.Sp.id);
+  (* The null context is free and inert. *)
+  Alcotest.(check bool) "null inactive" false (Sp.active Sp.null);
+  Alcotest.(check bool) "live ctx active" true (Sp.active root);
+  Sp.with_span Sp.null "x" (fun ctx ->
+      Alcotest.(check bool) "null child inactive" false (Sp.active ctx));
+  Sp.record Sp.null "y";
+  Alcotest.(check int) "count" 3 (Sp.count col);
+  Sp.clear col;
+  Alcotest.(check int) "clear empties" 0 (Sp.count col)
+
+let test_span_exception () =
+  let col = Sp.collector () in
+  (match
+     Sp.with_span (Sp.root col ~trace:"t") "boom" (fun _ -> failwith "x")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  match Sp.spans col with
+  | [ s ] ->
+      Alcotest.(check string) "span recorded" "/boom" s.Sp.path;
+      Alcotest.(check bool) "raised attr" true
+        (List.mem ("raised", Sp.Bool true) s.Sp.attrs)
+  | _ -> Alcotest.fail "expected exactly the raised span"
+
+let test_span_multidomain () =
+  (* Four domains record under one collector through a shared context;
+     the merged stream must be complete and well-parented, and its
+     (path, id, parent) skeleton independent of interleaving. *)
+  let col = Sp.collector () in
+  Sp.with_span (Sp.root col ~trace:"md") "request" (fun ctx ->
+      let ds =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to 24 do
+                  Sp.with_span ctx
+                    (Printf.sprintf "w%d:%d" d i)
+                    (fun c -> Sp.record c "inner")
+                done))
+      in
+      List.iter Domain.join ds);
+  let spans = Sp.spans col in
+  Alcotest.(check int) "all spans collected" 201 (List.length spans);
+  let ids = List.map (fun s -> s.Sp.id) spans in
+  Alcotest.(check bool) "well-parented" true
+    (List.for_all
+       (fun s -> Int64.equal s.Sp.parent 0L || List.mem s.Sp.parent ids)
+       spans);
+  let paths = List.map (fun s -> s.Sp.path) spans in
+  Alcotest.(check bool) "merge point sorts by path" true
+    (paths = List.sort compare paths)
+
+let test_span_chrome_json () =
+  let col = Sp.collector () in
+  Sp.with_span (Sp.root col ~trace:"cj") "request" (fun ctx ->
+      Sp.with_span ctx
+        ~attrs:[ ("nodes", Sp.Int 7); ("gap", Sp.Float 0.05) ]
+        "solve"
+        (fun _ -> ()));
+  let evs =
+    check_chrome_shape ~expect_events:true
+      (Sp.to_chrome_json (Sp.spans col))
+  in
+  Alcotest.(check int) "one event per span" 2 (List.length evs);
+  let args e =
+    match Json.member "args" e with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "args missing"
+  in
+  Alcotest.(check bool) "every event carries its path and trace" true
+    (List.for_all
+       (fun e ->
+         let a = args e in
+         List.mem_assoc "path" a
+         && List.assoc "trace" a = Json.Str "cj")
+       evs);
+  (* Timestamps are rebased: the earliest event starts at 0. *)
+  let tss =
+    List.filter_map
+      (fun e ->
+        match Json.member "ts" e with Some (Json.Num t) -> Some t | _ -> None)
+      evs
+  in
+  Alcotest.(check (float 1e-6)) "rebased to zero" 0.
+    (List.fold_left Float.min infinity tss);
+  (* The flat rendering (the TRACE verb body) lists parents first. *)
+  let flat = Sp.render_flat (Sp.spans col) in
+  (match String.split_on_char '\n' flat with
+  | first :: second :: _ ->
+      Alcotest.(check bool) "parent line first" true
+        (String.starts_with ~prefix:"span /request dur_ms=" first);
+      Alcotest.(check bool) "child line second" true
+        (String.starts_with ~prefix:"span /request/solve dur_ms=" second);
+      Alcotest.(check bool) "attrs rendered" true
+        (String.ends_with ~suffix:"nodes=7 gap=0.05" second)
+  | _ -> Alcotest.fail "render_flat too short");
+  (* The tree rendering indents two spaces per depth. *)
+  (match String.split_on_char '\n' (Sp.render_tree (Sp.spans col)) with
+  | first :: second :: _ ->
+      Alcotest.(check bool) "root unindented" true
+        (String.starts_with ~prefix:"request " first);
+      Alcotest.(check bool) "child indented" true
+        (String.starts_with ~prefix:"  solve " second)
+  | _ -> Alcotest.fail "render_tree too short")
+
+(* --- span-stream determinism across pool sizes ----------------------------- *)
+
+(* The PR-8 contract: for the same request list, the merged span stream
+   — ids, parentage, paths, names, attrs; timestamps excluded — is
+   identical whether the batch runs sequentially or on pools of 2 or 4
+   workers. Uses the portfolio strategy: its span set is structural
+   (entrants by name), unlike the B&B phase-B subtree family whose task
+   *set* is timing-dependent by the PR-4 contract. *)
+let span_skeleton col =
+  List.map
+    (fun s -> (s.Sp.trace, s.Sp.path, s.Sp.id, s.Sp.parent, s.Sp.name, s.Sp.attrs))
+    (Sp.spans col)
+
+let spans_deterministic_across_pools =
+  QCheck.Test.make ~count:5 ~name:"span stream identical at pools 1/2/4"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let requests =
+        List.init 3 (fun i ->
+            let rng = Support.Rng.create ((seed * 7) + i + 5_000_000) in
+            let g =
+              Daggen.Generator.generate ~rng
+                ~shape:
+                  { Daggen.Generator.n = 10 + i; fat = 0.5; density = 0.4;
+                    regularity = 0.5; jump = 2 }
+                ~costs:Daggen.Generator.default_costs
+            in
+            {
+              Service.Request.label = Printf.sprintf "g%d" i;
+              platform = P.make ~n_ppe:1 ~n_spe:4 ();
+              graph = g;
+              strategy = Service.Request.Portfolio { seed = 24301; restarts = 2 };
+              deadline_ms = None;
+              prio = 0;
+            })
+      in
+      (* A duplicate of the first request exercises the in-batch
+         duplicate path (no second solve span). *)
+      let requests = requests @ [ List.hd requests ] in
+      let run pool_size =
+        let col = Sp.collector () in
+        let span = Sp.root col ~trace:"batch" in
+        let cache = Service.Cache.create () in
+        (match pool_size with
+        | 1 -> ignore (Service.Batch.run ~span ~cache requests)
+        | n ->
+            Par.Pool.with_pool ~size:n (fun pool ->
+                ignore (Service.Batch.run ~span ~pool ~cache requests)));
+        span_skeleton col
+      in
+      let seq = run 1 and p2 = run 2 and p4 = run 4 in
+      if seq <> p2 then
+        QCheck.Test.fail_reportf "span stream diverged between pool 1 and 2";
+      if seq <> p4 then
+        QCheck.Test.fail_reportf "span stream diverged between pool 1 and 4";
+      (* Sanity: the stream is non-trivial and contains the batch root
+         plus one solve child per distinct miss. *)
+      if not (List.exists (fun (_, p, _, _, _, _) -> p = "/batch") seq) then
+        QCheck.Test.fail_reportf "missing batch root span";
+      let solves =
+        List.filter
+          (fun (_, p, _, _, name, _) ->
+            String.starts_with ~prefix:"solve:" name
+            && String.length p = String.length "/batch/solve:" + 12)
+          seq
+      in
+      if List.length solves <> 3 then
+        QCheck.Test.fail_reportf "expected 3 solve spans, got %d"
+          (List.length solves);
+      true)
+
 (* --- transparency: metrics on = metrics off, bitwise ---------------------- *)
 
 let with_metrics_on f =
@@ -486,6 +778,10 @@ let () =
             test_multidomain_hammer;
           Alcotest.test_case "JSON and Prometheus exports" `Quick
             test_export_parses;
+          Alcotest.test_case "histogram quantile estimation" `Quick
+            test_histogram_quantile;
+          Alcotest.test_case "Prometheus hostile labels and help" `Quick
+            test_prometheus_hostile_labels;
         ] );
       ( "events",
         [
@@ -495,6 +791,18 @@ let () =
             test_chrome_json_handmade;
           Alcotest.test_case "Chrome JSON shape (simulation)" `Quick
             test_chrome_json_from_simulation;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "identity, parentage and contexts" `Quick
+            test_span_identity;
+          Alcotest.test_case "raised attribute on exception" `Quick
+            test_span_exception;
+          Alcotest.test_case "multi-domain collection" `Quick
+            test_span_multidomain;
+          Alcotest.test_case "Chrome JSON and renderings" `Quick
+            test_span_chrome_json;
+          qt spans_deterministic_across_pools;
         ] );
       ("transparency", [ qt metrics_transparent ]);
     ]

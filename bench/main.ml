@@ -2,18 +2,20 @@
    evaluation (S6), plus the ablations called for by S7 and a bechamel
    micro-benchmark suite.
 
-   Usage: main.exe [--quick] [--parallel[=N]]
-          [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|all]...
+   Usage: main.exe [--quick] [--parallel[=N]] [--seed=N]
+          [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|traffic|all]...
    With no experiment argument, everything runs. --quick shortens the
    simulated streams by 10x for fast smoke runs. --parallel fans the
    independent sweep points (Fig. 7 SPE counts, Fig. 8 CCR x graph) out
    over a domain pool of N workers (default: the host's core count);
-   tables are byte-identical to the sequential run. *)
+   tables are byte-identical to the sequential run. --seed=N offsets the
+   fixed seeds of the service/daemon/traffic experiments, so CI can run
+   a second seed cheaply and assert the bitwise checks hold there too. *)
 
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [--parallel[=N]] \
-     [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|all]...";
+    "usage: bench [--quick] [--parallel[=N]] [--seed=N] \
+     [fig6|fig7|fig8|milptime|ablation|replication|dualcell|faults|micro|search|obs|par|bb|service|daemon|traffic|all]...";
   exit 2
 
 let () =
@@ -33,15 +35,25 @@ let () =
         else acc)
       None args
   in
+  List.iter
+    (fun a ->
+      if String.starts_with ~prefix:"--seed=" a then
+        match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+        | Some n -> Experiments.seed := n
+        | None -> usage ())
+    args;
   let experiments =
     List.filter
       (fun a ->
-        a <> "--quick" && not (String.starts_with ~prefix:"--parallel" a))
+        a <> "--quick"
+        && (not (String.starts_with ~prefix:"--parallel" a))
+        && not (String.starts_with ~prefix:"--seed=" a))
       args
     |> function
     | [] | [ "all" ] ->
         [ "fig6"; "fig7"; "fig8"; "milptime"; "ablation"; "replication";
-          "dualcell"; "faults"; "micro"; "search"; "par"; "bb"; "service"; "daemon" ]
+          "dualcell"; "faults"; "micro"; "search"; "par"; "bb"; "service";
+          "daemon"; "traffic" ]
     | names -> names
   in
   print_endline "cellstream benchmark harness";
@@ -69,6 +81,7 @@ let () =
     | "bb" -> Experiments.search_bb ()
     | "service" -> Experiments.service ()
     | "daemon" -> Experiments.daemon ()
+    | "traffic" -> Experiments.traffic ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         usage ()

@@ -1049,9 +1049,14 @@ let batch_cmd =
 
 let serve_cmd =
   let run n_spe bound parallel socket cache_path cache_entries cache_bytes
-      flush_period metrics_file trace_dir =
+      cache_shards flush_period metrics_file trace_dir =
     if bound <= 0 then begin
       Printf.eprintf "cellsched: --bound must be positive\n";
+      exit 2
+    end;
+    if cache_shards <= 0 || cache_shards > Service.Shard.max_shards then begin
+      Printf.eprintf "cellsched: --cache-shards must be in 1-%d\n"
+        Service.Shard.max_shards;
       exit 2
     end;
     if flush_period < 0. then begin
@@ -1072,6 +1077,7 @@ let serve_cmd =
         cache_path;
         cache_entries;
         cache_bytes;
+        cache_shards;
         flush_period;
         metrics_file;
         trace_dir;
@@ -1126,6 +1132,16 @@ let serve_cmd =
       & opt (some int) None
       & info [ "cache-bytes" ] ~docv:"N" ~doc:"Cache LRU byte bound.")
   in
+  let cache_shards =
+    let doc =
+      "Shard the warm cache across $(docv) independently-locked shards \
+       (fingerprint-routed; entry/byte bounds are totals split across \
+       shards; replies are bitwise identical at any shard count). With a \
+       persistent --cache, each shard flushes to its own FILE.shardI \
+       atomically; shard-count changes migrate at load."
+    in
+    Arg.(value & opt int 1 & info [ "cache-shards" ] ~docv:"N" ~doc)
+  in
   let flush_period =
     let doc =
       "Seconds between background cache/metrics flushes (0 disables the \
@@ -1162,7 +1178,299 @@ let serve_cmd =
           per-request tracing")
     Term.(
       const run $ n_spe_arg $ bound $ parallel_arg $ socket $ cache
-      $ cache_entries $ cache_bytes $ flush_period $ metrics_file $ trace_dir)
+      $ cache_entries $ cache_bytes $ cache_shards $ flush_period
+      $ metrics_file $ trace_dir)
+
+(* --- workload --------------------------------------------------------------- *)
+
+let workload_cmd =
+  let run graph_files n seed skew spes strategies restarts gap max_nodes ids =
+    if graph_files = [] then begin
+      Printf.eprintf "cellsched: workload needs at least one graph file\n";
+      exit 2
+    end;
+    let graphs =
+      List.map
+        (fun file ->
+          try (file, load_graph file)
+          with Sys_error m ->
+            Printf.eprintf "cellsched: %s\n" m;
+            exit 2)
+        graph_files
+    in
+    let strategy_of = function
+      | "portfolio" ->
+          Service.Request.Portfolio
+            {
+              seed = Cellsched.Portfolio.default_seed;
+              restarts =
+                Option.value restarts
+                  ~default:Cellsched.Portfolio.default_restarts;
+            }
+      | "bb" ->
+          Service.Request.Bb
+            {
+              rel_gap =
+                Option.value gap
+                  ~default:Cellsched.Mapping_search.default_options.rel_gap;
+              max_nodes = Option.value max_nodes ~default:50_000;
+            }
+      | s ->
+          Printf.eprintf "cellsched: unknown strategy %S (portfolio, bb)\n" s;
+          exit 2
+    in
+    let spec =
+      {
+        Service.Workload.seed;
+        requests = n;
+        skew;
+        graphs;
+        spes;
+        strategies = List.map strategy_of strategies;
+      }
+    in
+    match Service.Workload.(lines ~ids (generate spec)) with
+    | lines ->
+        List.iter print_endline lines;
+        0
+    | exception Invalid_argument m ->
+        Printf.eprintf "cellsched: %s\n" m;
+        2
+  in
+  let graphs =
+    let doc = "Graph files forming the request population." in
+    Arg.(value & pos_all string [] & info [] ~docv:"GRAPH" ~doc)
+  in
+  let n =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Generator seed; equal seeds give byte-equal streams.")
+  in
+  let skew =
+    let doc =
+      "Zipf skew $(i,s): rank k is drawn with probability proportional to \
+       1/(k+1)^s over the graphs x spes x strategies population (0 is \
+       uniform; 1.1 is a typical hot-spot web workload)."
+    in
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"S" ~doc)
+  in
+  let spes =
+    Arg.(
+      value
+      & opt (list int) [ 8 ]
+      & info [ "spes" ] ~docv:"N,.." ~doc:"SPE counts in the population.")
+  in
+  let strategies =
+    Arg.(
+      value
+      & opt (list string) [ "portfolio" ]
+      & info [ "strategies" ] ~docv:"S,.."
+          ~doc:"Solver strategies in the population (portfolio, bb).")
+  in
+  let restarts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:"Portfolio restart count for generated requests.")
+  in
+  let gap =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gap" ] ~docv:"F" ~doc:"B&B relative gap for generated requests.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"B&B node budget for generated requests.")
+  in
+  let ids =
+    Arg.(
+      value & flag
+      & info [ "ids" ]
+          ~doc:"Prefix each line with id=rI for daemon-framed replay.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Print a seeded zipfian request stream (batch/serve grammar) to \
+          stdout: the population is graphs x SPE counts x strategies, \
+          popularity rank is seed-shuffled, and request I is drawn \
+          zipf(skew) — deterministic, so a printed stream is a reproducible \
+          load test")
+    Term.(
+      const run $ graphs $ n $ seed $ skew $ spes $ strategies $ restarts
+      $ gap $ max_nodes $ ids)
+
+(* --- traffic ---------------------------------------------------------------- *)
+
+let traffic_cmd =
+  let run socket requests_path clients =
+    let contents =
+      match requests_path with
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error m ->
+            Printf.eprintf "cellsched: %s\n" m;
+            exit 2)
+    in
+    (* Any existing id= token is replaced: the replayer owns reply
+       correlation, and its ids encode (client, sequence). *)
+    let strip_id line =
+      if String.starts_with ~prefix:"id=" line then
+        match String.index_opt line ' ' with
+        | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+        | None -> ""
+      else line
+    in
+    let payload =
+      String.split_on_char '\n' contents
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" || l.[0] = '#' then None else Some (strip_id l))
+      |> Array.of_list
+    in
+    if Array.length payload = 0 then begin
+      Printf.eprintf "cellsched: no requests in %s\n" requests_path;
+      exit 2
+    end;
+    if clients <= 0 then begin
+      Printf.eprintf "cellsched: --clients must be positive\n";
+      exit 2
+    end;
+    (* One closed-loop client per domain: send a request, wait for its
+       framed terminal line, measure the round trip, send the next. *)
+    let run_client d (slice : string array) =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "cellsched: connect %s: %s\n" socket
+           (Unix.error_message e);
+         exit 2);
+      let ic = Unix.in_channel_of_descr fd in
+      let latencies = ref [] and statuses = ref [] and dropped = ref 0 in
+      (try
+         Array.iteri
+           (fun i line ->
+             let id = Printf.sprintf "c%dr%d" d i in
+             let msg = Printf.sprintf "id=%s %s\n" id line in
+             let t0 = Unix.gettimeofday () in
+             let rec write off =
+               if off < String.length msg then
+                 write (off + Unix.write_substring fd msg off
+                                (String.length msg - off))
+             in
+             write 0;
+             (* Scan to this request's terminal line; reply bodies pass by. *)
+             let rec await () =
+               let l = input_line ic in
+               if String.starts_with ~prefix:("END " ^ id) l then "ok"
+               else if String.starts_with ~prefix:("REJECT " ^ id) l then
+                 "rejected"
+               else if String.starts_with ~prefix:("ERROR " ^ id) l then
+                 "error"
+               else if
+                 String.starts_with ~prefix:("BEGIN " ^ id ^ " partial") l
+               then begin
+                 ignore (await () : string);
+                 "partial"
+               end
+               else await ()
+             in
+             let status = await () in
+             latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+             statuses := status :: !statuses)
+           slice
+       with End_of_file ->
+         dropped :=
+           Array.length slice - List.length !latencies);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (!latencies, !statuses, !dropped)
+    in
+    let slices =
+      Array.init clients (fun d ->
+          let n = Array.length payload in
+          Array.init
+            ((n - d + clients - 1) / clients)
+            (fun i -> payload.((i * clients) + d)))
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      if clients = 1 then [| run_client 0 slices.(0) |]
+      else
+        Array.map Domain.join
+          (Array.mapi
+             (fun d slice -> Domain.spawn (fun () -> run_client d slice))
+             slices)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let latencies =
+      Array.to_list results |> List.concat_map (fun (l, _, _) -> l)
+      |> List.sort compare |> Array.of_list
+    in
+    let statuses =
+      Array.to_list results |> List.concat_map (fun (_, s, _) -> s)
+    in
+    let dropped =
+      Array.to_list results |> List.fold_left (fun a (_, _, d) -> a + d) 0
+    in
+    let count name = List.length (List.filter (( = ) name) statuses) in
+    let pct q =
+      let n = Array.length latencies in
+      if n = 0 then nan
+      else latencies.(min (n - 1) (int_of_float (Float.ceil (q *. float_of_int (n - 1)))))
+    in
+    let replied = Array.length latencies in
+    Printf.printf "traffic: %d request(s), %d client(s), %d replied, %d dropped\n"
+      (Array.length payload) clients replied dropped;
+    Printf.printf "  ok %d, partial %d, rejected %d, errors %d\n" (count "ok")
+      (count "partial") (count "rejected") (count "error");
+    Printf.printf "  wall %.3f s, %.1f req/s\n" wall
+      (float_of_int replied /. wall);
+    if replied > 0 then
+      Printf.printf "  latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+        (1000. *. pct 0.50) (1000. *. pct 0.95) (1000. *. pct 0.99)
+        (1000. *. latencies.(replied - 1));
+    if dropped > 0 then 1 else 0
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of a running $(b,cellsched serve).")
+  in
+  let requests =
+    let doc =
+      "Request stream to replay (one request-grammar line each, e.g. the \
+       output of $(b,cellsched workload)), or - for stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUESTS" ~doc)
+  in
+  let clients =
+    let doc =
+      "Concurrent closed-loop clients; the stream is split round-robin and \
+       each client runs in its own domain with its own connection."
+    in
+    Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Replay a request stream against a live daemon socket and report \
+          round-trip latency percentiles and throughput (exit 1 if any \
+          request went unanswered)")
+    Term.(const run $ socket $ requests $ clients)
 
 (* --- cache ------------------------------------------------------------------ *)
 
@@ -1265,6 +1573,8 @@ let () =
             faults_cmd;
             batch_cmd;
             serve_cmd;
+            workload_cmd;
+            traffic_cmd;
             cache_cmd;
             obs_cmd;
             dot_cmd;

@@ -1,6 +1,7 @@
 module Request = Service.Request
 module Batch = Service.Batch
 module Cache = Service.Cache
+module Shard = Service.Shard
 
 (* --- metrics -------------------------------------------------------------- *)
 
@@ -109,6 +110,7 @@ type config = {
   cache_path : string option;
   cache_entries : int option;
   cache_bytes : int option;
+  cache_shards : int;
   flush_period : float;
   metrics_file : string option;
   trace_dir : string option;
@@ -123,6 +125,7 @@ let default_config =
     cache_path = None;
     cache_entries = None;
     cache_bytes = None;
+    cache_shards = 1;
     flush_period = 30.;
     metrics_file = None;
     trace_dir = None;
@@ -175,7 +178,10 @@ type stats = {
 
 type t = {
   config : config;
-  cache : Cache.t;
+  shard : Shard.t;
+  (* Every cache touch below goes through this view, so the serving
+     code is byte-identical whether the map has 1 shard or 64. *)
+  view : Cache.view;
   pool : Par.Pool.t option;
   admission : job Admission.t;
   (* Pool workers push completions; only the main loop drains. The
@@ -219,14 +225,14 @@ let create ?(on_reply = fun _ -> ()) ?load_graph config =
     invalid_arg "Server.create: non-positive concurrency";
   if config.flush_period < 0. then
     invalid_arg "Server.create: negative flush period";
-  let cache =
+  let shard =
     match config.cache_path with
     | Some path ->
-        Cache.load_file ?max_entries:config.cache_entries
-          ?max_bytes:config.cache_bytes path
+        Shard.load_files ~shards:config.cache_shards
+          ?max_entries:config.cache_entries ?max_bytes:config.cache_bytes path
     | None ->
-        Cache.create ?max_entries:config.cache_entries
-          ?max_bytes:config.cache_bytes ()
+        Shard.create ~shards:config.cache_shards
+          ?max_entries:config.cache_entries ?max_bytes:config.cache_bytes ()
   in
   let pool =
     if config.concurrency > 1 then
@@ -241,7 +247,8 @@ let create ?(on_reply = fun _ -> ()) ?load_graph config =
   | None -> ());
   {
     config;
-    cache;
+    shard;
+    view = Shard.view shard;
     pool;
     admission = Admission.create ~bound:config.bound;
     completed = Queue.create ();
@@ -265,7 +272,7 @@ let create ?(on_reply = fun _ -> ()) ?load_graph config =
     replies = 0;
   }
 
-let cache t = t.cache
+let shard t = t.shard
 
 let stats t =
   {
@@ -333,7 +340,7 @@ let write_metrics_file path =
 let flush t =
   (match t.config.cache_path with
   | Some path -> (
-      match Cache.save_file ~force:true t.cache path with
+      match Shard.save_files ~force:true t.shard path with
       | Ok () ->
           t.dirty <- false;
           t.last_flush <- Unix.gettimeofday ();
@@ -489,8 +496,8 @@ let finish_job t { job; outcome } =
          them (store:false), so the deterministic cache stays a pure
          function of the completed-solve history. *)
       let response =
-        Batch.solved_response ~store:(not partial) ~cache:t.cache job.request
-          (assignment, period)
+        Batch.solved_response_view ~store:(not partial) ~view:t.view
+          job.request (assignment, period)
       in
       if partial then begin
         t.partials <- t.partials + 1;
@@ -530,7 +537,7 @@ let dispatch t =
              lands, instead of burning a second solve. *)
           match
             stage_span job.span h_stage_cache "cache@dispatch" (fun () ->
-                Batch.try_cache ~cache:t.cache job.request)
+                Batch.try_cache_view ~view:t.view job.request)
           with
           | Some response ->
               Admission.finish t.admission;
@@ -598,7 +605,7 @@ let handle_line t ~out line =
          keeps serving everything it already knows. *)
       match
         stage_span span h_stage_cache "cache" (fun () ->
-            Batch.try_cache ~cache:t.cache request)
+            Batch.try_cache_view ~view:t.view request)
       with
       | Some response ->
           t.accepted <- t.accepted + 1;

@@ -25,11 +25,18 @@
       completions crossing back to the main loop through a
       mutex-protected queue, so the cache and the client writers are
       only ever touched from the loop.
+    - {b Sharding}: the warm cache is a {!Service.Shard} map of
+      [config.cache_shards] independently-locked shards; every probe
+      and insert below goes through its {!Service.Cache.view}, so the
+      serving code — and the reply bytes — are identical at any shard
+      count. One shard (the default) behaves exactly like the plain
+      pre-shard cache.
     - {b Persistence}: the cache loads warm from [cache_path] at
       start-up, flushes periodically (every [flush_period] seconds,
-      when dirty) and always on shutdown — atomically
-      ({!Service.Cache.save_file}), so a kill mid-flush never loses
-      the previous complete snapshot.
+      when dirty) and always on shutdown — atomically {e per shard}
+      ({!Service.Shard.save_files}), so a kill mid-flush never loses
+      any shard's previous complete snapshot. Shard-count changes
+      (and legacy single-file caches) migrate automatically at load.
     - {b Shutdown}: SIGINT/SIGTERM (installed by the serve loops) and
       the [QUIT] verb set one atomic flag; in-flight solves cancel,
       still-pending requests are dispatched and cancel on their first
@@ -65,8 +72,12 @@ type config = {
   concurrency : int;  (** [1] = inline solves; [n > 1] = pool of [n]. *)
   cache_path : string option;
       (** Warm-start load at create, flush target afterwards. *)
-  cache_entries : int option;  (** LRU entry bound (default 1024). *)
-  cache_bytes : int option;  (** LRU byte bound (default 16 MiB). *)
+  cache_entries : int option;  (** Total LRU entry bound (default 1024). *)
+  cache_bytes : int option;  (** Total LRU byte bound (default 16 MiB). *)
+  cache_shards : int;
+      (** Independently-locked cache shards (default 1; max
+          {!Service.Shard.max_shards}). Budgets above are totals,
+          split evenly across shards. *)
   flush_period : float;
       (** Seconds between background flushes; [0.] disables the
           periodic flush (shutdown still flushes). *)
@@ -79,8 +90,8 @@ type config = {
 }
 
 val default_config : config
-(** 8 SPEs, portfolio strategy, bound 64, concurrency 1, no
-    persistence, 30 s flush period, no trace directory. *)
+(** 8 SPEs, portfolio strategy, bound 64, concurrency 1, one cache
+    shard, no persistence, 30 s flush period, no trace directory. *)
 
 type status = [ `Hit | `Solved | `Partial | `Rejected | `Error of string ]
 
@@ -116,7 +127,9 @@ val create :
     without touching the filesystem.
     @raise Invalid_argument on non-positive [bound] or [concurrency]. *)
 
-val cache : t -> Service.Cache.t
+val shard : t -> Service.Shard.t
+(** The warm cache (a 1-shard map unless configured otherwise). *)
+
 val stats : t -> stats
 
 val handle_line : t -> out:(string -> unit) -> string -> unit

@@ -113,9 +113,13 @@ let validate (r : Request.t) (entry : Cache.entry) assignment =
 
 (* One cache probe on precomputed key material; shared between the
    batch classifier and the daemon's hit path so both answer a given
-   request bitwise alike. *)
-let try_cache_keyed ~cache (r : Request.t) ~fp ~ord =
-  match Cache.find cache fp with
+   request bitwise alike. Every cache touch goes through a
+   {!Cache.view}, so the same code serves one plain cache or a
+   fingerprint-sharded map ({!Shard.view}) — the reply bytes depend
+   only on what the probe returns, which is why sharded and single
+   caches answer identically. *)
+let try_cache_keyed ~(view : Cache.view) (r : Request.t) ~fp ~ord =
+  match view.Cache.probe fp with
   | None -> None
   | Some entry -> (
       match transport entry ord with
@@ -135,15 +139,18 @@ let try_cache_keyed ~cache (r : Request.t) ~fp ~ord =
           if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_rejects;
           None)
 
-let try_cache ~cache r =
-  try_cache_keyed ~cache r ~fp:(Request.fingerprint r)
+let try_cache_view ~view r =
+  try_cache_keyed ~view r ~fp:(Request.fingerprint r)
     ~ord:(Streaming.Canonical.order r.Request.graph)
 
-let solved_keyed ~store ~cache (r : Request.t) ~fp ~ord (assignment, period) =
+let try_cache ~cache r = try_cache_view ~view:(Cache.view cache) r
+
+let solved_keyed ~store ~(view : Cache.view) (r : Request.t) ~fp ~ord
+    (assignment, period) =
   let feasible, throughput, bottleneck = summary r assignment period in
   if store then begin
     let canonical = Array.map (fun id -> assignment.(id)) ord in
-    Cache.add cache
+    view.Cache.insert
       {
         Cache.fingerprint = fp;
         strategy = Request.strategy_to_string r.Request.strategy;
@@ -165,13 +172,16 @@ let solved_keyed ~store ~cache (r : Request.t) ~fp ~ord (assignment, period) =
     bottleneck;
   }
 
-let solved_response ?(store = true) ~cache r result =
-  solved_keyed ~store ~cache r
+let solved_response_view ?(store = true) ~view r result =
+  solved_keyed ~store ~view r
     ~fp:(Request.fingerprint r)
     ~ord:(Streaming.Canonical.order r.Request.graph)
     result
 
-let run ?(span = Obs.Span.null) ?pool ~cache requests =
+let solved_response ?store ~cache r result =
+  solved_response_view ?store ~view:(Cache.view cache) r result
+
+let run_view ?(span = Obs.Span.null) ?pool ~view requests =
   Obs.Span.with_span span "batch" @@ fun span ->
   let t0 = Unix.gettimeofday () in
   let requests = Array.of_list requests in
@@ -182,7 +192,7 @@ let run ?(span = Obs.Span.null) ?pool ~cache requests =
   in
   let responses : response option array = Array.make n None in
   let try_hit i =
-    match try_cache_keyed ~cache requests.(i) ~fp:fps.(i) ~ord:ords.(i) with
+    match try_cache_keyed ~view requests.(i) ~fp:fps.(i) ~ord:ords.(i) with
     | Some r ->
         responses.(i) <- Some r;
         true
@@ -202,7 +212,7 @@ let run ?(span = Obs.Span.null) ?pool ~cache requests =
   let record_solved (i, assignment, period) =
     responses.(i) <-
       Some
-        (solved_keyed ~store:true ~cache requests.(i) ~fp:fps.(i) ~ord:ords.(i)
+        (solved_keyed ~store:true ~view requests.(i) ~fp:fps.(i) ~ord:ords.(i)
            (assignment, period))
   in
   (* Miss spans are named by the request fingerprint, so the merged
@@ -243,6 +253,9 @@ let run ?(span = Obs.Span.null) ?pool ~cache requests =
   |> List.map (function
        | Some r -> r
        | None -> assert false (* every index is classified above *))
+
+let run ?span ?pool ~cache requests =
+  run_view ?span ?pool ~view:(Cache.view cache) requests
 
 let render r =
   let buf = Buffer.create 256 in

@@ -60,20 +60,45 @@ val solve_request :
     underlying solver, which then returns its best incumbent so far —
     always a feasible mapping — instead of running to completion. *)
 
-val try_cache : cache:Cache.t -> Request.t -> response option
+val try_cache_view : view:Cache.view -> Request.t -> response option
 (** The pure hit path: fingerprint, transport, validate. [Some] is a
     [Hit] response bitwise identical to what {!run} would return for a
     singleton batch hitting the same entry; [None] is a miss (a failed
     transport validation bumps [svc_transport_rejects_total], exactly as
-    in {!run}). Never solves. *)
+    in {!run}). Never solves. Every cache touch goes through the
+    [view], so a plain {!Cache.t} and a {!Shard.t} serve requests
+    through identical code — the basis of the sharded-vs-single
+    bitwise-identity guarantee. *)
+
+val try_cache : cache:Cache.t -> Request.t -> response option
+(** [try_cache_view] over {!Cache.view}[ cache]. *)
+
+val solved_response_view :
+  ?store:bool -> view:Cache.view -> Request.t -> int array * float -> response
+(** Wrap a {!solve_request} result into a [Solved] response, computing
+    the summary (feasibility, throughput, bottleneck). [store] (default
+    [true]) also records the entry through the view; the daemon passes
+    [store:false] for deadline-cancelled partial results so a timing-
+    dependent incumbent can never poison the deterministic cache. *)
 
 val solved_response :
   ?store:bool -> cache:Cache.t -> Request.t -> int array * float -> response
-(** Wrap a {!solve_request} result into a [Solved] response, computing
-    the summary (feasibility, throughput, bottleneck). [store] (default
-    [true]) also records the entry in the cache; the daemon passes
-    [store:false] for deadline-cancelled partial results so a timing-
-    dependent incumbent can never poison the deterministic cache. *)
+(** [solved_response_view] over {!Cache.view}[ cache]. *)
+
+val run_view :
+  ?span:Obs.Span.ctx ->
+  ?pool:Par.Pool.t ->
+  view:Cache.view ->
+  Request.t list ->
+  response list
+(** Responses in request order. The cache behind [view] is updated in
+    place with every fresh solve.
+
+    [span] (default {!Obs.Span.null}: free) records one ["batch"] span
+    with a ["solve:<fp12>"] child per distinct miss (named by the first
+    12 hex digits of the request fingerprint, so the merged stream is
+    independent of which pool worker ran which solve), each containing
+    the underlying solver's flight-recorder spans. *)
 
 val run :
   ?span:Obs.Span.ctx ->
@@ -81,14 +106,7 @@ val run :
   cache:Cache.t ->
   Request.t list ->
   response list
-(** Responses in request order. The cache is updated in place with
-    every fresh solve.
-
-    [span] (default {!Obs.Span.null}: free) records one ["batch"] span
-    with a ["solve:<fp12>"] child per distinct miss (named by the first
-    12 hex digits of the request fingerprint, so the merged stream is
-    independent of which pool worker ran which solve), each containing
-    the underlying solver's flight-recorder spans. *)
+(** [run_view] over {!Cache.view}[ cache]. *)
 
 val render : response -> string
 (** Deterministic multi-line text block (the CLI output format; the

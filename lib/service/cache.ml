@@ -10,11 +10,17 @@ type entry = {
   bottleneck : string;
 }
 
+type view = {
+  probe : string -> entry option;
+  insert : entry -> unit;
+}
+
 type node = { entry : entry; mutable last_used : int }
 
 type t = {
   max_entries : int;
   max_bytes : int;
+  publish_gauges : bool;
   tbl : (string, node) Hashtbl.t;
   mutable tick : int;
   mutable bytes : int;
@@ -22,8 +28,16 @@ type t = {
 
 let version = 1
 
+(* Counts {e entries leaving the cache under LRU pressure} — an
+   update-in-place overwrite of a resident fingerprint is not an
+   eviction and must not bump this (overwrite-heavy streams used to be
+   indistinguishable from thrashing in the exported counters). *)
 let m_evictions =
-  Obs.Metrics.counter ~help:"Mapping-cache LRU evictions" "svc_evictions_total"
+  Obs.Metrics.counter
+    ~help:
+      "Mapping-cache entries evicted by the LRU bounds (update-in-place \
+       overwrites excluded)"
+    "svc_cache_evicted_total"
 
 let m_recovered =
   Obs.Metrics.counter
@@ -38,18 +52,32 @@ let g_bytes =
     "svc_cache_bytes"
 
 let publish t =
-  if Obs.Metrics.enabled () then begin
+  if t.publish_gauges && Obs.Metrics.enabled () then begin
     Obs.Metrics.Gauge.set g_entries (float_of_int (Hashtbl.length t.tbl));
     Obs.Metrics.Gauge.set g_bytes (float_of_int t.bytes)
   end
 
-let create ?(max_entries = 1024) ?(max_bytes = 16 * 1024 * 1024) () =
+(* [publish = false] mutes only the process-wide size gauges: a shard
+   map wraps many caches and publishes per-shard gauge families instead
+   (the eviction/recovery counters stay shared — they count events, not
+   states, and sum correctly across shards). *)
+let create ?(publish = true) ?(max_entries = 1024)
+    ?(max_bytes = 16 * 1024 * 1024) () =
   if max_entries <= 0 || max_bytes <= 0 then
     invalid_arg "Cache.create: non-positive bound";
-  { max_entries; max_bytes; tbl = Hashtbl.create 64; tick = 0; bytes = 0 }
+  {
+    max_entries;
+    max_bytes;
+    publish_gauges = publish;
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    bytes = 0;
+  }
 
 let length t = Hashtbl.length t.tbl
 let bytes_used t = t.bytes
+let max_entries t = t.max_entries
+let max_bytes t = t.max_bytes
 
 (* Approximate resident size: words for the record and array plus the
    string payloads. Only relative accuracy matters — the bound exists
@@ -115,6 +143,8 @@ let entries t =
   Hashtbl.fold (fun _ node acc -> node :: acc) t.tbl []
   |> List.sort (fun a b -> compare b.last_used a.last_used)
   |> List.map (fun node -> node.entry)
+
+let view t = { probe = find t; insert = add t }
 
 (* --- persistence ---------------------------------------------------------- *)
 
@@ -186,8 +216,8 @@ let entry_of_json v =
     bottleneck = require "bottleneck" (Json.to_str (member "bottleneck"));
   }
 
-let load_string ?max_entries ?max_bytes s =
-  let empty () = create ?max_entries ?max_bytes () in
+let load_string ?publish ?max_entries ?max_bytes s =
+  let empty () = create ?publish ?max_entries ?max_bytes () in
   match
     let doc =
       match Json.parse s with Ok v -> v | Error m -> corrupt "%s" m
@@ -211,8 +241,8 @@ let load_string ?max_entries ?max_bytes s =
       if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_recovered;
       Error (empty (), reason)
 
-let load_file ?max_entries ?max_bytes path =
-  if not (Sys.file_exists path) then create ?max_entries ?max_bytes ()
+let load_file ?publish ?max_entries ?max_bytes path =
+  if not (Sys.file_exists path) then create ?publish ?max_entries ?max_bytes ()
   else
     match
       let ic = open_in_bin path in
@@ -221,12 +251,12 @@ let load_file ?max_entries ?max_bytes path =
         (fun () -> In_channel.input_all ic)
     with
     | contents -> (
-        match load_string ?max_entries ?max_bytes contents with
+        match load_string ?publish ?max_entries ?max_bytes contents with
         | Ok t -> t
         | Error (t, _) -> t)
     | exception Sys_error _ ->
         if Obs.Metrics.enabled () then Obs.Metrics.Counter.inc m_recovered;
-        create ?max_entries ?max_bytes ()
+        create ?publish ?max_entries ?max_bytes ()
 
 module For_testing = struct
   let crash_after_bytes : int option ref = ref None

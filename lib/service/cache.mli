@@ -2,7 +2,7 @@
 
     Bounded both by entry count and by (approximate) resident bytes;
     inserting past either bound evicts least-recently-used entries and
-    bumps the [svc_evictions_total] counter. Assignments are stored in
+    bumps the [svc_cache_evicted_total] counter. Assignments are stored in
     {e canonical} task order ({!Streaming.Canonical.order}), so an entry
     written for one graph can be transported to any relabeled/reordered
     variant that produces the same fingerprint.
@@ -27,13 +27,26 @@ type entry = {
   bottleneck : string;  (** Rendered {!Cellsched.Steady_state.resource}. *)
 }
 
+type view = {
+  probe : string -> entry option;  (** Fingerprint lookup. *)
+  insert : entry -> unit;
+}
+(** A cache as the batch front end sees it: probe and insert, nothing
+    else. {!Batch} routes every cache touch through a [view], so one
+    plain {!t} ({!val-view}) and a fingerprint-sharded map
+    ({!Shard.view}) serve requests through the same code path. *)
+
 type t
 
 val version : int
 (** Current on-disk format version (1). *)
 
-val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
-(** Defaults: 1024 entries, 16 MiB.
+val create : ?publish:bool -> ?max_entries:int -> ?max_bytes:int -> unit -> t
+(** Defaults: 1024 entries, 16 MiB. [publish] (default [true]) controls
+    only the process-wide [svc_cache_entries]/[svc_cache_bytes] gauges;
+    {!Shard} passes [false] and publishes per-shard gauge families
+    instead (event counters — evictions, recoveries — are shared either
+    way).
     @raise Invalid_argument on non-positive bounds. *)
 
 val length : t -> int
@@ -41,24 +54,36 @@ val length : t -> int
 val bytes_used : t -> int
 (** Approximate resident size of the stored entries. *)
 
+val max_entries : t -> int
+val max_bytes : t -> int
+(** The bounds this cache was created with (the shard-budget invariant
+    checks read them back). *)
+
 val find : t -> string -> entry option
 (** Fingerprint lookup; a hit refreshes the entry's recency. *)
 
 val add : t -> entry -> unit
 (** Insert or replace, evicting LRU entries while over either bound.
-    An entry larger than [max_bytes] on its own is dropped. *)
+    An entry larger than [max_bytes] on its own is dropped.
+    [svc_cache_evicted_total] counts evicted {e entries} only: an
+    update-in-place replacement of a resident fingerprint is not an
+    eviction and never bumps it. *)
 
 val entries : t -> entry list
 (** Most-recently-used first. *)
 
+val view : t -> view
+(** This cache as a {!type-view} (probe = {!find}, insert = {!add}). *)
+
 val to_json_string : t -> string
 
-val load_string : ?max_entries:int -> ?max_bytes:int -> string ->
-  (t, t * string) result
+val load_string : ?publish:bool -> ?max_entries:int -> ?max_bytes:int ->
+  string -> (t, t * string) result
 (** Parse a persisted cache. [Error (empty, reason)] on any corruption
     (and [svc_cache_recovered_total] is bumped). *)
 
-val load_file : ?max_entries:int -> ?max_bytes:int -> string -> t
+val load_file : ?publish:bool -> ?max_entries:int -> ?max_bytes:int ->
+  string -> t
 (** Total: missing file is a silent cold start; unreadable/corrupt
     content recovers to empty as in {!load_string}. *)
 

@@ -307,6 +307,62 @@ let test_admission_priority () =
     "priority order, FIFO within a level" [ "b"; "c"; "d"; "a"; "e" ] order;
   Alcotest.(check (option string)) "drained" None (Admission.next q)
 
+(* Model-based property: against a naive reference (a plain list of
+   (prio, seq) pairs), the queue's admit/next/finish must agree on
+   every step of a random trace — acceptance exactly while
+   pending + inflight < bound, pops exactly the (-prio, seq)
+   lexicographic minimum, load always the model's. *)
+let admission_lexicographic =
+  QCheck.Test.make ~count:1000
+    ~name:"admission: pops are (-prio, seq) lexicographic (random traces)"
+    QCheck.(
+      pair (int_range 1 5) (list_of_size Gen.(int_range 5 40) (int_range 0 9)))
+    (fun (bound, ops) ->
+      let q = Admission.create ~bound in
+      let pending = ref [] in
+      let inflight = ref 0 in
+      let seq = ref 0 in
+      let ok = ref true in
+      let expect () =
+        match !pending with
+        | [] -> None
+        | x :: rest ->
+            Some
+              (List.fold_left
+                 (fun (bp, bs) (p, s) ->
+                   if p > bp || (p = bp && s < bs) then (p, s) else (bp, bs))
+                 x rest)
+      in
+      List.iter
+        (fun op ->
+          (if op <= 5 then (
+             (* enqueue, prios -2..3 so levels collide and FIFO shows *)
+             let prio = op - 2 in
+             let accepted = Admission.admit q ~prio !seq in
+             let should = List.length !pending + !inflight < bound in
+             if accepted <> should then ok := false;
+             if accepted then pending := (prio, !seq) :: !pending;
+             incr seq)
+           else if op <= 7 then
+             match (Admission.next q, expect ()) with
+             | None, None -> ()
+             | Some v, Some ((_, s) as item) ->
+                 if v <> s then ok := false;
+                 pending := List.filter (fun it -> it <> item) !pending;
+                 incr inflight
+             | Some _, None | None, Some _ -> ok := false
+           else if !inflight = 0 then
+             match Admission.finish q with
+             | exception Invalid_argument _ -> ()
+             | () -> ok := false
+           else (
+             Admission.finish q;
+             decr inflight));
+          if Admission.load q <> List.length !pending + !inflight then
+            ok := false)
+        ops;
+      !ok)
+
 let test_admission_invalid () =
   Alcotest.check_raises "bound 0" (Invalid_argument "Admission.create: non-positive bound")
     (fun () -> ignore (Admission.create ~bound:0));
@@ -411,7 +467,7 @@ let test_deadline_partial_feasible () =
   (* Timing-dependent results must never enter the deterministic cache. *)
   Alcotest.(check (option reject)) "not cached" None
     (Option.map ignore
-       (Cache.find (Server.cache h.server) response.Batch.fingerprint));
+       (Service.Shard.find (Server.shard h.server) response.Batch.fingerprint));
   let s = Server.stats h.server in
   Alcotest.(check int) "counted partial" 1 s.Server.partials;
   Alcotest.(check int) "not counted solved" 0 s.Server.solved;
@@ -463,6 +519,46 @@ let test_shutdown_flush_warm_restart () =
       Alcotest.(check bool) "assignment equal across restart" true
         (first.Batch.assignment = hit.Batch.assignment);
       Server.finish h2.server)
+
+let test_sharded_transcript_bitwise () =
+  (* The same zipfian stream through an unsharded and a 4-shard server:
+     whole reply transcripts must be byte-identical. Routing is a pure
+     function of the fingerprint and the engine is single-threaded, so
+     partitioning the cache may never change a single reply byte. *)
+  let stream =
+    Service.Workload.lines ~ids:true
+      (Service.Workload.generate
+         {
+           Service.Workload.seed = 4242;
+           requests = 40;
+           skew = 1.1;
+           graphs = List.map (fun n -> (n, graph n)) [ "gA"; "gB"; "gC" ];
+           spes = [ 4; 6 ];
+           strategies = [ bb_strategy ];
+         })
+  in
+  let run shards =
+    let statuses = ref [] in
+    let server =
+      Server.create
+        ~on_reply:(fun (r : Server.reply) -> statuses := r.Server.status :: !statuses)
+        ~load_graph
+        { (config ~bound:64 ()) with Server.cache_shards = shards }
+    in
+    let out = Buffer.create 4096 in
+    List.iter
+      (fun line -> Server.handle_line server ~out:(Buffer.add_string out) line)
+      stream;
+    Server.drain server;
+    Alcotest.(check int)
+      (Printf.sprintf "shards=%d: every request replied" shards)
+      40
+      (List.length !statuses);
+    if List.mem `Rejected !statuses then
+      Alcotest.failf "shards=%d: rejection under an ample bound" shards;
+    Buffer.contents out
+  in
+  Alcotest.(check string) "transcript bitwise at shards 1 vs 4" (run 1) (run 4)
 
 let test_verbs_and_metrics () =
   with_metrics (fun () ->
@@ -824,6 +920,7 @@ let () =
           Alcotest.test_case "priority then FIFO" `Quick
             test_admission_priority;
           Alcotest.test_case "invalid arguments" `Quick test_admission_invalid;
+          qt admission_lexicographic;
         ] );
       ( "engine",
         [
@@ -844,6 +941,8 @@ let () =
             test_trace_deadline;
           Alcotest.test_case "SLO accounting by priority band" `Quick
             test_slo_metrics;
+          Alcotest.test_case "sharded cache keeps the transcript bitwise"
+            `Quick test_sharded_transcript_bitwise;
         ] );
       (* Socket tests fork, and OCaml 5 forbids Unix.fork once any domain
          has ever been spawned in the process, so they must run before the

@@ -449,7 +449,7 @@ let test_crash_window () =
 
 let test_lru_eviction () =
   with_metrics (fun () ->
-      let evictions0 = counter_value "svc_evictions_total" in
+      let evictions0 = counter_value "svc_cache_evicted_total" in
       let cache = Cache.create ~max_entries:2 () in
       let fp c = String.make 32 c in
       Cache.add cache (sample_entry ~fp:(fp 'a') ());
@@ -464,11 +464,47 @@ let test_lru_eviction () =
       Alcotest.(check bool) "c resident" true
         (Cache.find cache (fp 'c') <> None);
       Alcotest.(check int) "eviction counted" 1
-        (counter_value "svc_evictions_total" - evictions0);
+        (counter_value "svc_cache_evicted_total" - evictions0);
       (* Byte bound: an entry bigger than the whole budget is dropped. *)
       let tiny = Cache.create ~max_bytes:64 () in
       Cache.add tiny (sample_entry ());
       Alcotest.(check int) "oversized entry dropped" 0 (Cache.length tiny))
+
+let test_eviction_counter_ignores_overwrites () =
+  (* Regression: [svc_cache_evicted_total] once counted update-in-place
+     replacements as evictions, so an overwrite-heavy stream inflated
+     the counter far past the number of entries that ever left the
+     cache. Pin the distinction: overwrites never bump it, genuine LRU
+     pressure bumps it exactly once per departed entry. *)
+  with_metrics (fun () ->
+      let evicted () = counter_value "svc_cache_evicted_total" in
+      let fp c = String.make 32 c in
+      let cache = Cache.create ~max_entries:4 () in
+      let base = evicted () in
+      (* 100 writes across 4 resident fingerprints: 96 overwrites. *)
+      for round = 1 to 25 do
+        List.iter
+          (fun c ->
+            Cache.add cache
+              { (sample_entry ~fp:(fp c) ()) with Cache.period = float_of_int round })
+          [ 'a'; 'b'; 'c'; 'd' ]
+      done;
+      Alcotest.(check int) "overwrite-heavy stream evicts nothing" 0
+        (evicted () - base);
+      Alcotest.(check int) "all four resident" 4 (Cache.length cache);
+      (match Cache.find cache (fp 'a') with
+      | Some e -> Alcotest.(check (float 0.)) "last write won" 25. e.Cache.period
+      | None -> Alcotest.fail "overwritten entry vanished");
+      (* Now genuine pressure: 3 new fingerprints through a 4-slot cache
+         displace exactly 3 residents, overwrites still free. *)
+      List.iter
+        (fun c -> Cache.add cache (sample_entry ~fp:(fp c) ()))
+        [ 'e'; 'f'; 'g' ];
+      Alcotest.(check int) "one eviction per departed entry" 3
+        (evicted () - base);
+      Cache.add cache (sample_entry ~fp:(fp 'g') ());
+      Alcotest.(check int) "post-pressure overwrite still free" 3
+        (evicted () - base))
 
 let test_transport_reject_falls_back () =
   with_metrics (fun () ->
@@ -566,6 +602,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "LRU eviction + bounds" `Quick test_lru_eviction;
+          Alcotest.test_case "eviction counter ignores overwrites" `Quick
+            test_eviction_counter_ignores_overwrites;
           Alcotest.test_case "transport reject falls back" `Quick
             test_transport_reject_falls_back;
         ] );

@@ -952,6 +952,73 @@ let search_par () =
           bb_result (Search.solve ~options:bb_options ~pool:p platform g)))
     (graphs ());
   Support.Table.print table;
+  (* Fiber-vs-thunk: the same batch of distinct misses fanned out over
+     one pool, once as suspendable fibers (the serving default), once as
+     domain-granular thunks. Outputs must be bitwise identical; the
+     interesting numbers are the wall clocks and the raw fiber
+     scheduling rate (spawn/await/yield round-trips per second). *)
+  print_endline "-- Batch miss fan-out: fibers vs thunks (same pool) --";
+  let fiber_requests = if quick then 6 else 12 in
+  let random_graph rng n =
+    Daggen.Generator.generate ~rng
+      ~shape:
+        { Daggen.Generator.n; fat = 0.5; density = 0.4; regularity = 0.5; jump = 2 }
+      ~costs:Daggen.Generator.default_costs
+  in
+  let fiber_reqs =
+    let rng = Support.Rng.create 77 in
+    List.init fiber_requests (fun i ->
+        let g = random_graph rng (8 + (i mod 5)) in
+        {
+          Service.Request.label = Printf.sprintf "fiber-bench-%d" i;
+          platform;
+          graph = g;
+          strategy =
+            Service.Request.Bb
+              { rel_gap = 0.05; max_nodes = (if quick then 2_000 else 8_000) };
+          deadline_ms = None;
+          prio = 0;
+        })
+  in
+  let render_all responses =
+    String.concat "" (List.map Service.Batch.render responses)
+  in
+  let batch_with ~fibers =
+    Par.Pool.with_pool ~size:(min 4 (max 2 host)) (fun p ->
+        time_of (fun () ->
+            render_all
+              (Service.Batch.run_view ~pool:p ~fibers
+                 ~view:(Service.Cache.view (Service.Cache.create ()))
+                 fiber_reqs)))
+  in
+  let out_thunk, t_thunk = batch_with ~fibers:false in
+  let out_fiber, t_fiber = batch_with ~fibers:true in
+  let fiber_identical = String.equal out_thunk out_fiber in
+  if not fiber_identical then all_identical := false;
+  (* scheduling-rate microbench: tiny fibers, nothing but spawn/await *)
+  let spawn_rate =
+    let n = if quick then 20_000 else 100_000 in
+    Par.Pool.with_pool ~size:(min 4 (max 2 host)) (fun p ->
+        let (), t =
+          time_of (fun () ->
+              ignore
+                (Par.Fiber.run p (fun () ->
+                     Par.Fiber.parallel_map
+                       (fun i ->
+                         Par.Fiber.yield ();
+                         i + 1)
+                       (Array.init n Fun.id))))
+        in
+        if t > 0. then float_of_int n /. t else 0.)
+  in
+  Printf.printf
+    "   %d distinct misses: thunks %.3f s, fibers %.3f s (ratio %.2fx), \
+     identical: %s\n\
+    \   fiber spawn+yield+await round-trips: %.0f /s\n"
+    fiber_requests t_thunk t_fiber
+    (if t_fiber > 0. then t_thunk /. t_fiber else infinity)
+    (if fiber_identical then "yes" else "NO")
+    spawn_rate;
   let oc = open_out "BENCH_par.json" in
   Printf.fprintf oc
     "{\n\
@@ -960,11 +1027,16 @@ let search_par () =
     \  \"pool_sizes\": [ %s ],\n\
     \  \"all_identical\": %b,\n\
     \  \"best_speedup\": %.3f,\n\
+    \  \"fiber\": { \"requests\": %d, \"thunk_s\": %.6f, \"fiber_s\": %.6f,\n\
+    \              \"ratio\": %.3f, \"identical\": %b,\n\
+    \              \"spawn_await_per_s\": %.0f },\n\
     \  \"rows\": [\n%s\n  ]\n\
      }\n"
     host
     (String.concat ", " (List.map string_of_int sizes))
-    !all_identical !best_speedup
+    !all_identical !best_speedup fiber_requests t_thunk t_fiber
+    (if t_fiber > 0. then t_thunk /. t_fiber else 0.)
+    fiber_identical spawn_rate
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;
   print_endline "wrote BENCH_par.json";

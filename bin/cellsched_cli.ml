@@ -957,7 +957,7 @@ let obs_cmd =
 (* --- batch ------------------------------------------------------------------ *)
 
 let batch_cmd =
-  let run requests_path n_spe cache_path parallel metrics force =
+  let run requests_path n_spe cache_path parallel no_fibers metrics force =
     enable_metrics metrics;
     let contents =
       match requests_path with
@@ -996,7 +996,7 @@ let batch_cmd =
     in
     let responses =
       with_optional_pool parallel (fun pool ->
-          Service.Batch.run ?pool ~cache requests)
+          Service.Batch.run ?pool ~fibers:(not no_fibers) ~cache requests)
     in
     List.iter (fun r -> print_string (Service.Batch.render r)) responses;
     let hits =
@@ -1036,20 +1036,29 @@ let batch_cmd =
     in
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
   in
+  let no_fibers =
+    let doc =
+      "With --parallel, dispatch distinct misses as domain-granular pool \
+       thunks instead of suspendable fibers (output is bitwise identical \
+       either way)."
+    in
+    Arg.(value & flag & info [ "no-fibers" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Answer a stream of mapping requests, deduplicating by canonical \
           fingerprint and solving only the distinct cache misses")
     Term.(
-      const run $ requests $ n_spe_arg $ cache $ parallel_arg $ metrics_arg
-      $ force_arg)
+      const run $ requests $ n_spe_arg $ cache $ parallel_arg $ no_fibers
+      $ metrics_arg $ force_arg)
 
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run n_spe bound parallel socket cache_path cache_entries cache_bytes
-      cache_shards flush_period metrics_file trace_dir =
+  let run n_spe bound parallel fibers max_inflight socket cache_path
+      cache_entries cache_bytes cache_shards flush_period metrics_file
+      trace_dir =
     if bound <= 0 then begin
       Printf.eprintf "cellsched: --bound must be positive\n";
       exit 2
@@ -1063,6 +1072,10 @@ let serve_cmd =
       Printf.eprintf "cellsched: --flush-period must be >= 0\n";
       exit 2
     end;
+    if max_inflight <= 0 then begin
+      Printf.eprintf "cellsched: --max-inflight must be positive\n";
+      exit 2
+    end;
     let concurrency =
       match parallel with
       | None -> 1
@@ -1074,6 +1087,8 @@ let serve_cmd =
         default_spes = n_spe;
         bound;
         concurrency;
+        fibers;
+        max_inflight;
         cache_path;
         cache_entries;
         cache_bytes;
@@ -1104,6 +1119,20 @@ let serve_cmd =
        always served)."
     in
     Arg.(value & opt int 64 & info [ "bound" ] ~docv:"N" ~doc)
+  in
+  let fibers =
+    let doc =
+      "Dispatch each admitted solve as a suspendable fiber over the worker \
+       pool (one worker even without --parallel), up to --max-inflight at \
+       once; solves yield at node-budget boundaries so cache hits keep \
+       flowing during long dives. Replies are sequenced in admission order, \
+       bitwise identical to the fiber-less daemon."
+    in
+    Arg.(value & flag & info [ "fibers" ] ~doc)
+  in
+  let max_inflight =
+    let doc = "Fiber mode: maximum concurrently in-flight solve fibers." in
+    Arg.(value & opt int 32 & info [ "max-inflight" ] ~docv:"N" ~doc)
   in
   let socket =
     let doc =
@@ -1177,9 +1206,9 @@ let serve_cmd =
           admission control, a warm persistent cache, live metrics and \
           per-request tracing")
     Term.(
-      const run $ n_spe_arg $ bound $ parallel_arg $ socket $ cache
-      $ cache_entries $ cache_bytes $ cache_shards $ flush_period
-      $ metrics_file $ trace_dir)
+      const run $ n_spe_arg $ bound $ parallel_arg $ fibers $ max_inflight
+      $ socket $ cache $ cache_entries $ cache_bytes $ cache_shards
+      $ flush_period $ metrics_file $ trace_dir)
 
 (* --- workload --------------------------------------------------------------- *)
 

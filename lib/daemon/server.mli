@@ -25,6 +25,20 @@
       completions crossing back to the main loop through a
       mutex-protected queue, so the cache and the client writers are
       only ever touched from the loop.
+    - {b Fibers}: with [config.fibers] every dispatched miss runs as a
+      suspendable {!Par.Fiber} on the pool (created even at
+      concurrency 1), yielding its domain at solver node-budget
+      boundaries, with up to [config.max_inflight] solves in flight at
+      once. Replies stay bitwise identical to the sequential daemon: a
+      {e slot sequencer} emits queued replies (and their cache stores)
+      in admission-pop order regardless of completion order, and a job
+      whose fingerprint is already being solved parks until its twin's
+      slot lands — then hits the just-stored entry exactly as the
+      sequential cache@dispatch re-check would. Inline warm-cache hits
+      never queue, so they keep overtaking long dives; that ordering
+      (hit before earlier-arrived solve) is the one deliberate
+      difference from the pool-less daemon, where a solve blocks the
+      loop.
     - {b Sharding}: the warm cache is a {!Service.Shard} map of
       [config.cache_shards] independently-locked shards; every probe
       and insert below goes through its {!Service.Cache.view}, so the
@@ -70,6 +84,13 @@ type config = {
   default_strategy : Service.Request.strategy;
   bound : int;  (** Admission bound: max queued + in-flight misses. *)
   concurrency : int;  (** [1] = inline solves; [n > 1] = pool of [n]. *)
+  fibers : bool;
+      (** Dispatch misses as suspendable {!Par.Fiber}s over the pool
+          (spawning one even at concurrency 1), replies sequenced in
+          admission order. *)
+  max_inflight : int;
+      (** Fiber mode only: max concurrently in-flight solve fibers
+          (default 32). *)
   cache_path : string option;
       (** Warm-start load at create, flush target afterwards. *)
   cache_entries : int option;  (** Total LRU entry bound (default 1024). *)
@@ -90,8 +111,9 @@ type config = {
 }
 
 val default_config : config
-(** 8 SPEs, portfolio strategy, bound 64, concurrency 1, one cache
-    shard, no persistence, 30 s flush period, no trace directory. *)
+(** 8 SPEs, portfolio strategy, bound 64, concurrency 1, fibers off
+    (max 32 in flight when on), one cache shard, no persistence, 30 s
+    flush period, no trace directory. *)
 
 type status = [ `Hit | `Solved | `Partial | `Rejected | `Error of string ]
 

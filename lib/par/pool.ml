@@ -17,9 +17,10 @@ type t = {
   executed : int Atomic.t array;
   stolen : int Atomic.t array;
   steal_failures : int Atomic.t array;
+  shielded : int Atomic.t array;
   busy : float Atomic.t array;
   (* previous [publish_stats] snapshot, so counter deltas stay monotonic *)
-  mutable published : (int * int * int) array;
+  mutable published : (int * int * int * int) array;
 }
 
 type ctx = { cpool : t; id : int }
@@ -72,9 +73,16 @@ let find_task t id =
 let run_one t id (task : task) =
   Atomic.incr t.executed.(id);
   let t0 = Unix.gettimeofday () in
-  (* Task closures capture their own exceptions into their promise;
-     the catch here only shields the worker from a broken closure. *)
-  (try task () with _ -> ());
+  (* Task closures capture their own exceptions into their promise; an
+     exception escaping here means a raw closure leaked one, so count it
+     rather than lose it silently — [stats] exposes the tally and tests
+     assert it stays zero. *)
+  (try task ()
+   with e ->
+     Atomic.incr t.shielded.(id);
+     if Sys.getenv_opt "CELLSTREAM_DEBUG" <> None then
+       Printf.eprintf "par: worker %d shielded %s\n%!" id
+         (Printexc.to_string e));
   Atomic.set t.busy.(id) (Atomic.get t.busy.(id) +. (Unix.gettimeofday () -. t0))
 
 (* ------------------------------------------------------------------ *)
@@ -135,8 +143,9 @@ let create ?size:(n = default_size ()) ?(deque_pow = 10) () =
       executed = Array.init n (fun _ -> Atomic.make 0);
       stolen = Array.init n (fun _ -> Atomic.make 0);
       steal_failures = Array.init n (fun _ -> Atomic.make 0);
+      shielded = Array.init n (fun _ -> Atomic.make 0);
       busy = Array.init n (fun _ -> Atomic.make 0.);
-      published = Array.make n (0, 0, 0);
+      published = Array.make n (0, 0, 0, 0);
     }
   in
   t.domains <- Array.init n (fun id -> Domain.spawn (fun () -> worker_loop t id));
@@ -171,6 +180,13 @@ let submit_task t task =
   | _ -> inject t task);
   wake t
 
+let run_async = submit_task
+
+let self () =
+  match Domain.DLS.get ctx_key with
+  | Some c -> Some c.cpool
+  | None -> None
+
 (* Wait for [pred]: a worker of this pool helps (runs tasks) so nested
    blocking cannot deadlock; an outside domain spins briefly then
    sleeps in 50 µs slices, which keeps single-core hosts from burning
@@ -196,6 +212,8 @@ let wait_until t pred =
         incr idle;
         if !idle > 100 then Unix.sleepf 5e-5 else Domain.cpu_relax ()
   done
+
+let help_until = wait_until
 
 type 'a promise = ('a, exn * Printexc.raw_backtrace) result option Atomic.t
 
@@ -334,6 +352,7 @@ type worker_stats = {
   executed : int;
   stolen : int;
   steal_failures : int;
+  shielded : int;
   busy_s : float;
 }
 
@@ -343,6 +362,7 @@ let stats t =
         executed = Atomic.get t.executed.(i);
         stolen = Atomic.get t.stolen.(i);
         steal_failures = Atomic.get t.steal_failures.(i);
+        shielded = Atomic.get t.shielded.(i);
         busy_s = Atomic.get t.busy.(i);
       })
 
@@ -352,6 +372,9 @@ let publish_stats t =
     and steals = Obs.Metrics.counter_family "par_steals_total" ~labels:[ "worker" ]
     and fails =
       Obs.Metrics.counter_family "par_steal_failures_total" ~labels:[ "worker" ]
+    and shields =
+      Obs.Metrics.counter_family "par_shielded_exceptions_total"
+        ~labels:[ "worker" ]
     and busy =
       Obs.Metrics.gauge_family "par_worker_busy_fraction" ~labels:[ "worker" ]
     and pool_size = Obs.Metrics.gauge "par_pool_size" in
@@ -361,11 +384,12 @@ let publish_stats t =
     Array.iteri
       (fun i s ->
         let w = [ string_of_int i ] in
-        let pe, ps, pf = t.published.(i) in
+        let pe, ps, pf, px = t.published.(i) in
         Obs.Metrics.Counter.add (tasks w) (max 0 (s.executed - pe));
         Obs.Metrics.Counter.add (steals w) (max 0 (s.stolen - ps));
         Obs.Metrics.Counter.add (fails w) (max 0 (s.steal_failures - pf));
-        t.published.(i) <- (s.executed, s.stolen, s.steal_failures);
+        Obs.Metrics.Counter.add (shields w) (max 0 (s.shielded - px));
+        t.published.(i) <- (s.executed, s.stolen, s.steal_failures, s.shielded);
         Obs.Metrics.Gauge.set (busy w)
           (if wall > 0. then s.busy_s /. wall else 0.))
       st

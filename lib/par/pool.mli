@@ -40,6 +40,26 @@ val shutdown : t -> unit
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
+val self : unit -> t option
+(** The pool whose worker domain is running the caller, if any. Lets
+    code spawned onto a pool (plain tasks and {!Fiber}s alike) reach
+    its own scheduler without threading the handle through every
+    call. *)
+
+val run_async : t -> (unit -> unit) -> unit
+(** Fire-and-forget submission: enqueue the closure (own deque when
+    called from a worker of this pool, injector otherwise) and wake a
+    sleeper. The closure must capture its own exceptions — anything it
+    leaks is shielded and counted in [shielded] ({!stats}), not
+    propagated. This is the primitive {!Fiber} schedules on. *)
+
+val help_until : t -> (unit -> bool) -> unit
+(** Block until the predicate holds. A worker of this pool {e helps} —
+    runs pool tasks between checks — so nested blocking cannot
+    deadlock; an outside domain spins briefly then sleeps in 50 µs
+    slices. The predicate must eventually be made true by pool tasks
+    or another domain. *)
+
 (** {1 Futures} *)
 
 type 'a promise
@@ -89,6 +109,10 @@ type worker_stats = {
   executed : int;       (** tasks run by this worker *)
   stolen : int;         (** tasks this worker stole from peers *)
   steal_failures : int; (** steal attempts that found nothing / lost the race *)
+  shielded : int;       (** exceptions leaked by raw closures and swallowed by
+                            the worker shield — should stay zero; a nonzero
+                            count means a {!run_async} closure failed to
+                            capture its own errors *)
   busy_s : float;       (** seconds spent running tasks *)
 }
 

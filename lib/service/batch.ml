@@ -181,7 +181,7 @@ let solved_response_view ?(store = true) ~view r result =
 let solved_response ?store ~cache r result =
   solved_response_view ?store ~view:(Cache.view cache) r result
 
-let run_view ?(span = Obs.Span.null) ?pool ~view requests =
+let run_view ?(span = Obs.Span.null) ?pool ?(fibers = true) ~view requests =
   Obs.Span.with_span span "batch" @@ fun span ->
   let t0 = Unix.gettimeofday () in
   let requests = Array.of_list requests in
@@ -219,16 +219,31 @@ let run_view ?(span = Obs.Span.null) ?pool ~view requests =
      stream is independent of which worker solved which miss. *)
   let solve_one i =
     Obs.Span.with_span span ("solve:" ^ String.sub fps.(i) 0 12) @@ fun span ->
-    let assignment, period, _bound = solve_request ~span requests.(i) in
+    (* The yield tick suspends a fiber-run solve at node-budget
+       boundaries so more misses than domains still interleave; it is
+       a no-op on the thunk and sequential paths and never stops the
+       solver, so all three paths compute identical results. *)
+    let tick = Par.Fiber.yielder ~every:1 in
+    let should_stop () =
+      tick ();
+      false
+    in
+    let assignment, period, _bound =
+      solve_request ~span ~should_stop requests.(i)
+    in
     (i, assignment, period)
   in
-  (* Distinct misses fan out over the pool; each inner solve runs
-     sequentially, so pooled and sequential batches agree bitwise. *)
+  (* Distinct misses fan out over the pool — as suspendable fibers by
+     default, as domain-granular thunks with [~fibers:false]; each
+     inner solve is deterministic, so fibered, pooled and sequential
+     batches agree bitwise. *)
   let miss_indices = Array.of_list (List.rev !misses) in
   let solved =
     match pool with
     | Some p when Array.length miss_indices > 1 ->
-        Par.Pool.parallel_map p solve_one miss_indices
+        if fibers then
+          Par.Fiber.run p (fun () -> Par.Fiber.parallel_map solve_one miss_indices)
+        else Par.Pool.parallel_map p solve_one miss_indices
     | _ -> Array.map solve_one miss_indices
   in
   Array.iter record_solved solved;
@@ -254,8 +269,8 @@ let run_view ?(span = Obs.Span.null) ?pool ~view requests =
        | Some r -> r
        | None -> assert false (* every index is classified above *))
 
-let run ?span ?pool ~cache requests =
-  run_view ?span ?pool ~view:(Cache.view cache) requests
+let run ?span ?pool ?fibers ~cache requests =
+  run_view ?span ?pool ?fibers ~view:(Cache.view cache) requests
 
 let render r =
   let buf = Buffer.create 256 in

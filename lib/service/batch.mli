@@ -88,11 +88,19 @@ val solved_response :
 val run_view :
   ?span:Obs.Span.ctx ->
   ?pool:Par.Pool.t ->
+  ?fibers:bool ->
   view:Cache.view ->
   Request.t list ->
   response list
 (** Responses in request order. The cache behind [view] is updated in
     place with every fresh solve.
+
+    With a [pool], distinct misses fan out as suspendable
+    {!Par.Fiber}s by default, each yielding its domain at solver
+    node-budget boundaries so more misses than domains interleave;
+    [~fibers:false] restores the domain-granular thunk dispatch. Both
+    produce bytes identical to the sequential path — fibers schedule
+    execution, never results.
 
     [span] (default {!Obs.Span.null}: free) records one ["batch"] span
     with a ["solve:<fp12>"] child per distinct miss (named by the first
@@ -103,6 +111,7 @@ val run_view :
 val run :
   ?span:Obs.Span.ctx ->
   ?pool:Par.Pool.t ->
+  ?fibers:bool ->
   cache:Cache.t ->
   Request.t list ->
   response list

@@ -103,6 +103,42 @@ let test_exception_propagation () =
       | _ -> Alcotest.fail "await should re-raise"
       | exception Boom i -> Alcotest.(check int) "await re-raises" 42 i)
 
+(* The capture path with the owner {e helping}: the driver worker fills
+   its own deque (one raiser among innocents) and then blocks in await,
+   which runs and steals tasks. Whichever domain executes the raiser —
+   owner helping or a stealing peer — the exception must land in its
+   promise and re-raise at the await, leaving the pool fully usable. A
+   finaliser then submits {e more} work while Boom is unwinding
+   (re-entrant submit during unwind) and awaits it. Nothing may leak
+   into the worker shield: [shielded] stays zero. *)
+let test_stolen_raise_while_helping () =
+  Pool.with_pool ~size:2 (fun p ->
+      let driver =
+        Pool.submit p (fun () ->
+            let raiser = Pool.submit p (fun () -> raise (Boom 7)) in
+            let innocents = Array.init 32 (fun i -> Pool.submit p (fun () -> i)) in
+            let sum =
+              Array.fold_left (fun a pr -> a + Pool.await p pr) 0 innocents
+            in
+            match Pool.await p raiser with
+            | () -> Alcotest.fail "await of a raising task must re-raise"
+            | exception Boom i ->
+                let again = ref 0 in
+                (try
+                   Fun.protect
+                     ~finally:(fun () ->
+                       again := Pool.await p (Pool.submit p (fun () -> 21 + 21)))
+                     (fun () -> raise (Boom i))
+                 with Boom _ -> ());
+                sum + !again)
+      in
+      Alcotest.(check int) "pool survives the unwind" (496 + 42)
+        (Pool.await p driver);
+      Alcotest.(check int) "no exception swallowed by the shield" 0
+        (Array.fold_left
+           (fun a (s : Pool.worker_stats) -> a + s.Pool.shielded)
+           0 (Pool.stats p)))
+
 let test_race () =
   Pool.with_pool ~size:2 (fun p ->
       let v = Pool.race p [ (fun ~cancelled:_ -> 1); (fun ~cancelled:_ -> 2) ] in
@@ -430,6 +466,8 @@ let () =
           Alcotest.test_case "nested submit" `Quick test_nested_submit;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+          Alcotest.test_case "stolen raise while owner helps" `Quick
+            test_stolen_raise_while_helping;
           Alcotest.test_case "race" `Quick test_race;
           Alcotest.test_case "stealing under contention" `Quick
             test_stealing_under_contention;
